@@ -1,0 +1,30 @@
+//! # rocc-baselines — comparison congestion-control schemes
+//!
+//! From-scratch implementations of every scheme the RoCC paper compares
+//! against, on the same `rocc-sim` traits RoCC itself uses:
+//!
+//! | Scheme | Switch action | Source action | Module |
+//! |---|---|---|---|
+//! | DCQCN | RED/ECN marking | α-based MD + staged recovery | [`dcqcn`] |
+//! | DCQCN+PI | PI-driven ECN marking | DCQCN RP | [`dcqcn_pi`] |
+//! | QCN | sampled multi-bit Fb | Fb-proportional MD + staged recovery | [`qcn`] |
+//! | TIMELY | none | RTT-gradient rate control | [`timely`] |
+//! | HPCC | INT stamping | per-hop-utilization window control | [`hpcc`] |
+//!
+//! The paper verifies its DCQCN and HPCC re-implementations by reproducing
+//! their published convergence behaviour (App. A.1); this crate's versions
+//! are verified the same way by `rocc-experiments::fig19`.
+
+#![warn(missing_docs)]
+
+pub mod dcqcn;
+pub mod dcqcn_pi;
+pub mod hpcc;
+pub mod qcn;
+pub mod timely;
+
+pub use dcqcn::{DcqcnHostCcFactory, DcqcnParams, DcqcnSwitchCcFactory, RedParams};
+pub use dcqcn_pi::{PiMarkingParams, PiMarkingSwitchCcFactory};
+pub use hpcc::{HpccHostCcFactory, HpccParams, HpccSwitchCcFactory};
+pub use qcn::{QcnCpParams, QcnHostCcFactory, QcnRpParams, QcnSwitchCcFactory};
+pub use timely::{TimelyHostCcFactory, TimelyParams};

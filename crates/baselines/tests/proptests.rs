@@ -1,0 +1,128 @@
+//! Property-based tests for the baseline schemes: under arbitrary feedback
+//! sequences, every reaction point keeps its rate/window within bounds and
+//! never wedges at zero.
+
+use proptest::prelude::*;
+use rocc_baselines::dcqcn::{DcqcnHostCc, DcqcnParams};
+use rocc_baselines::hpcc::{HpccHostCc, HpccParams};
+use rocc_baselines::qcn::{QcnHostCc, QcnRpParams};
+use rocc_baselines::timely::{TimelyHostCc, TimelyParams};
+use rocc_sim::cc::{AckEvent, FeedbackEvent, HostCc, HostCcCtx};
+use rocc_sim::packet::{IntHop, IntStack};
+use rocc_sim::prelude::*;
+
+fn ctx_at(us: u64) -> HostCcCtx {
+    HostCcCtx {
+        now: SimTime::from_micros(us),
+        link_rate: BitRate::from_gbps(40),
+        set_timers: Vec::new(),
+        cancel_timers: Vec::new(),
+    }
+}
+
+fn ack(newly: u64, cum: u64, rtt_us: u64, ecn: bool, int: IntStack) -> AckEvent {
+    AckEvent {
+        newly_acked: newly,
+        cum_seq: cum,
+        rtt: SimDuration::from_micros(rtt_us),
+        ecn_echo: ecn,
+        int,
+    }
+}
+
+proptest! {
+    /// DCQCN: any interleaving of marked ACKs and timer fires keeps the
+    /// rate in [r_min, line rate].
+    #[test]
+    fn dcqcn_rate_bounded(
+        events in proptest::collection::vec((0u8..3, 1u64..200), 1..120),
+    ) {
+        let p = DcqcnParams::default();
+        let line = BitRate::from_gbps(40);
+        let mut cc = DcqcnHostCc::new(p, line);
+        let mut now = 0u64;
+        let mut cum = 0u64;
+        for (kind, dt) in events {
+            now += dt;
+            let mut c = ctx_at(now);
+            match kind {
+                0 => {
+                    cum += 1000;
+                    cc.on_ack(&mut c, ack(1000, cum, 15, true, IntStack::new()));
+                }
+                1 => cc.on_timer(&mut c, 0), // alpha decay
+                _ => cc.on_timer(&mut c, 1), // increase stage
+            }
+            let r = cc.decision().rate;
+            prop_assert!(r >= p.r_min && r <= line, "rate {r}");
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&cc.alpha()), "alpha {}", cc.alpha());
+        }
+    }
+
+    /// QCN: arbitrary Fb values keep the rate within bounds.
+    #[test]
+    fn qcn_rate_bounded(fbs in proptest::collection::vec(0u8..64, 1..100)) {
+        let p = QcnRpParams::default();
+        let line = BitRate::from_gbps(40);
+        let mut cc = QcnHostCc::new(p, line);
+        for (i, fb) in fbs.into_iter().enumerate() {
+            let mut c = ctx_at(i as u64 * 10);
+            cc.on_feedback(&mut c, FeedbackEvent::QcnFb {
+                fb,
+                cp: CpId { node: NodeId(0), port: PortId(0) },
+            });
+            if i % 3 == 0 {
+                let mut c = ctx_at(i as u64 * 10 + 5);
+                cc.on_timer(&mut c, 0);
+            }
+            let r = cc.decision().rate;
+            prop_assert!(r >= p.r_min && r <= line, "rate {r}");
+        }
+    }
+
+    /// TIMELY: arbitrary RTT trajectories keep the rate within bounds.
+    #[test]
+    fn timely_rate_bounded(rtts in proptest::collection::vec(1u64..2000, 1..150)) {
+        let p = TimelyParams::default();
+        let line = BitRate::from_gbps(40);
+        let mut cc = TimelyHostCc::new(p, line);
+        let mut cum = 0;
+        for (i, rtt) in rtts.into_iter().enumerate() {
+            cum += p.seg_bytes;
+            let mut c = ctx_at(i as u64 * 20);
+            cc.on_ack(&mut c, ack(p.seg_bytes, cum, rtt, false, IntStack::new()));
+            let r = cc.decision().rate;
+            prop_assert!(r >= p.r_min && r <= line, "rate {r} after rtt {rtt}us");
+        }
+    }
+
+    /// HPCC: arbitrary INT trajectories keep the window in
+    /// [1 MTU, 2×BDP] and the pacing rate positive.
+    #[test]
+    fn hpcc_window_bounded(
+        states in proptest::collection::vec((0u64..2_000_000, 1u64..100_000), 2..80),
+    ) {
+        let p = HpccParams::default();
+        let line = BitRate::from_gbps(40);
+        let mut cc = HpccHostCc::new(p, line);
+        let bdp2 = line.bytes_over(p.base_rtt) * 2;
+        let mut cum = 0u64;
+        let mut tx = 0u64;
+        for (i, (qlen, dtx)) in states.into_iter().enumerate() {
+            tx += dtx;
+            cum += 1000;
+            let mut int = IntStack::new();
+            int.push(IntHop {
+                qlen_bytes: qlen,
+                tx_bytes: tx,
+                ts_ns: (i as u64 + 1) * 10_000,
+                rate: line,
+            });
+            let mut c = ctx_at(i as u64 * 10);
+            cc.on_ack(&mut c, ack(1000, cum, 12, false, int));
+            let w = cc.window();
+            prop_assert!(w >= 1500 && w <= bdp2 + 1, "window {w}");
+            prop_assert!(cc.decision().rate.as_bps() > 0);
+        }
+    }
+}

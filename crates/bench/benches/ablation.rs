@@ -1,0 +1,193 @@
+//! Ablation benchmarks for RoCC's design choices (DESIGN.md §5):
+//! auto-tuning, multiplicative decrease, flow-table policy, and CNP
+//! prioritization. The qualitative outcome of each variant is printed
+//! once; the benchmark then measures the simulation cost of the variant.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rocc_core::{CpParams, FlowTablePolicy, RoccSwitchCcFactory};
+use rocc_experiments::ablation::run_variant;
+use rocc_sim::prelude::{SimConfig, SimTime};
+use std::hint::black_box;
+
+fn horizon() -> SimTime {
+    SimTime::from_millis(16)
+}
+
+fn bench_auto_tune(c: &mut Criterion) {
+    let mut fixed = CpParams::for_40g();
+    fixed.auto_tune = false;
+    let on = run_variant("on", 64, RoccSwitchCcFactory::new(), SimConfig::default(), horizon());
+    let off = run_variant(
+        "off",
+        64,
+        RoccSwitchCcFactory::new().with_params(fixed),
+        SimConfig::default(),
+        horizon(),
+    );
+    eprintln!(
+        "[ablate:auto-tune] N=64 queue sd: on {:.0} B vs off {:.0} B",
+        on.queue_sd, off.queue_sd
+    );
+    let mut g = c.benchmark_group("ablate_auto_tune");
+    g.sample_size(10);
+    g.bench_function("on_n64", |b| {
+        b.iter(|| {
+            black_box(run_variant(
+                "on",
+                64,
+                RoccSwitchCcFactory::new(),
+                SimConfig::default(),
+                horizon(),
+            ))
+        })
+    });
+    g.bench_function("off_n64", |b| {
+        let mut fixed = CpParams::for_40g();
+        fixed.auto_tune = false;
+        b.iter(|| {
+            black_box(run_variant(
+                "off",
+                64,
+                RoccSwitchCcFactory::new().with_params(fixed),
+                SimConfig::default(),
+                horizon(),
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_md(c: &mut Criterion) {
+    let mut no_md = CpParams::for_40g();
+    no_md.multiplicative_decrease = false;
+    let on = run_variant("on", 10, RoccSwitchCcFactory::new(), SimConfig::default(), horizon());
+    let off = run_variant(
+        "off",
+        10,
+        RoccSwitchCcFactory::new().with_params(no_md),
+        SimConfig::default(),
+        horizon(),
+    );
+    eprintln!(
+        "[ablate:MD] settle: on {:?} vs off {:?}",
+        on.settle, off.settle
+    );
+    let mut g = c.benchmark_group("ablate_md");
+    g.sample_size(10);
+    g.bench_function("md_on", |b| {
+        b.iter(|| {
+            black_box(run_variant(
+                "on",
+                10,
+                RoccSwitchCcFactory::new(),
+                SimConfig::default(),
+                horizon(),
+            ))
+        })
+    });
+    g.bench_function("md_off", |b| {
+        let mut no_md = CpParams::for_40g();
+        no_md.multiplicative_decrease = false;
+        b.iter(|| {
+            black_box(run_variant(
+                "off",
+                10,
+                RoccSwitchCcFactory::new().with_params(no_md),
+                SimConfig::default(),
+                horizon(),
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_flow_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_flow_table");
+    g.sample_size(10);
+    for (name, policy) in [
+        ("in_queue", FlowTablePolicy::InQueue),
+        (
+            "bounded_age",
+            FlowTablePolicy::BoundedAge {
+                capacity: 400,
+                idle_timeout_ns: 200_000,
+            },
+        ),
+        (
+            "sampling",
+            FlowTablePolicy::Sampling {
+                capacity: 128,
+                sample_prob: 0.25,
+            },
+        ),
+    ] {
+        let r = run_variant(
+            name,
+            10,
+            RoccSwitchCcFactory::new().with_policy(policy),
+            SimConfig::default(),
+            horizon(),
+        );
+        eprintln!(
+            "[ablate:table] {name}: fairness {:.4}, CNPs {}",
+            r.fairness, r.cnps
+        );
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(run_variant(
+                    name,
+                    10,
+                    RoccSwitchCcFactory::new().with_policy(policy),
+                    SimConfig::default(),
+                    horizon(),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_cnp_priority(c: &mut Criterion) {
+    let mut no_prio = SimConfig::default();
+    no_prio.prioritize_control = false;
+    let on = run_variant("on", 10, RoccSwitchCcFactory::new(), SimConfig::default(), horizon());
+    let off = run_variant("off", 10, RoccSwitchCcFactory::new(), no_prio.clone(), horizon());
+    eprintln!(
+        "[ablate:cnp-prio] queue sd: prioritized {:.0} B vs not {:.0} B",
+        on.queue_sd, off.queue_sd
+    );
+    let mut g = c.benchmark_group("ablate_cnp_priority");
+    g.sample_size(10);
+    g.bench_function("prioritized", |b| {
+        b.iter(|| {
+            black_box(run_variant(
+                "on",
+                10,
+                RoccSwitchCcFactory::new(),
+                SimConfig::default(),
+                horizon(),
+            ))
+        })
+    });
+    g.bench_function("unprioritized", |b| {
+        b.iter(|| {
+            black_box(run_variant(
+                "off",
+                10,
+                RoccSwitchCcFactory::new(),
+                no_prio.clone(),
+                horizon(),
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_auto_tune,
+    bench_md,
+    bench_flow_tables,
+    bench_cnp_priority
+);
+criterion_main!(benches);

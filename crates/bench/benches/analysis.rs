@@ -1,0 +1,52 @@
+//! Benchmarks regenerating the paper's analytic artifacts (Figs. 5–7):
+//! the phase-margin surface, the N = 2 vs N = 10 Bode comparison, and the
+//! margin/bandwidth-vs-N series behind the auto-tuner.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rocc_experiments::analytic;
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    // Print the headline result once so `cargo bench` output carries the
+    // reproduced numbers, not just timings.
+    let pts = analytic::fig5(10);
+    let stable = pts.iter().filter(|p| p.phase_margin_deg > 0.0).count();
+    eprintln!(
+        "[fig5] {} of {} (alpha, beta) grid points stable at N=2",
+        stable,
+        pts.len()
+    );
+    c.bench_function("fig5_phase_margin_surface_10x10", |b| {
+        b.iter(|| black_box(analytic::fig5(black_box(10))))
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let r = analytic::fig6();
+    eprintln!(
+        "[fig6] phase margin N=2: {:+.1} deg, N=10: {:+.1} deg (paper: ~+50 / ~-50)",
+        r.pm_n2, r.pm_n10
+    );
+    c.bench_function("fig6_bode_n2_vs_n10", |b| {
+        b.iter(|| black_box(analytic::fig6()))
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let series = analytic::fig7();
+    let worst = series[5]
+        .points
+        .iter()
+        .map(|p| p.phase_margin_deg)
+        .fold(f64::INFINITY, f64::min);
+    eprintln!(
+        "[fig7] smallest gain pair stays stable for all N (min margin {:.1} deg)",
+        worst
+    );
+    c.bench_function("fig7_margin_and_bandwidth_vs_n", |b| {
+        b.iter(|| black_box(analytic::fig7()))
+    });
+}
+
+criterion_group!(benches, bench_fig5, bench_fig6, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Benchmarks regenerating the cross-scheme comparisons: Fig. 11
+//! (RoCC vs TIMELY/QCN/DCQCN/DCQCN+PI/HPCC), Fig. 12a/b (multi-bottleneck
+//! and asymmetric fairness), and Fig. 19 (baseline verification).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rocc_experiments::{micro, Scale};
+use std::hint::black_box;
+
+fn bench_fig11(c: &mut Criterion) {
+    let rows = micro::fig11(Scale::Quick);
+    for r in &rows {
+        let n = r.per_flow_rate.len() as f64;
+        let avg = r.per_flow_rate.iter().sum::<f64>() / n / 1e9;
+        eprintln!(
+            "[fig11] {:>9}: avg {:.2} Gb/s, queue {:.0} B, util {:.1}%",
+            r.scheme.name(),
+            avg,
+            r.queue_mean,
+            r.util_mean * 100.0
+        );
+    }
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    g.bench_function("six_scheme_comparison", |b| {
+        b.iter(|| black_box(micro::fig11(Scale::Quick)))
+    });
+    g.finish();
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let a = micro::fig12a(Scale::Quick);
+    for r in &a {
+        eprintln!(
+            "[fig12a] {:>6}: D0 {:.2} Gb/s, D5 {:.2} Gb/s (expect both ~4.8)",
+            r.scheme.name(),
+            r.throughput[0] / 1e9,
+            r.throughput[5] / 1e9
+        );
+    }
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.bench_function("multi_bottleneck", |b| {
+        b.iter(|| black_box(micro::fig12a(Scale::Quick)))
+    });
+    g.bench_function("asymmetric", |b| {
+        b.iter(|| black_box(micro::fig12b(Scale::Quick)))
+    });
+    g.finish();
+}
+
+fn bench_fig19(c: &mut Criterion) {
+    let runs = micro::fig19(Scale::Quick);
+    for r in &runs {
+        eprintln!(
+            "[fig19] {} verification series: {} samples x {} flows",
+            r.scheme.name(),
+            r.flow_series[0].len(),
+            r.flow_series.len()
+        );
+    }
+    let mut g = c.benchmark_group("fig19");
+    g.sample_size(10);
+    g.bench_function("staggered_four_flow_verification", |b| {
+        b.iter(|| black_box(micro::fig19(Scale::Quick)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig11, bench_fig12, bench_fig19);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Benchmarks regenerating the §6.3 large-scale artifacts: per-bin FCT
+//! (Figs. 14–16), flow-rate allocation (Table 3), queue/PFC by CP class
+//! (Fig. 17), and the unlimited-buffer / lossy regimes (Figs. 18, 20).
+//!
+//! Each iteration runs a reduced fat-tree (same 2:1 oversubscription and
+//! edge0/1 → edge2 pattern) for a 2 ms arrival window.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rocc_experiments::fct::{run_fat_tree, BufferRegime, FatTreeConfig, Workload};
+use rocc_experiments::Scheme;
+use rocc_sim::prelude::SimDuration;
+use std::hint::black_box;
+
+fn tiny() -> FatTreeConfig {
+    FatTreeConfig {
+        hosts_per_edge: 4,
+        trunks: 1,
+        window: SimDuration::from_millis(2),
+        max_drain: SimDuration::from_millis(400),
+        reps: 1,
+    }
+}
+
+fn bench_fct_by_scheme(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fct_fat_tree");
+    g.sample_size(10);
+    for scheme in Scheme::large_scale_set() {
+        let out = run_fat_tree(scheme, Workload::FbHadoop, 0.7, &tiny(), BufferRegime::Pfc, 1);
+        let mean_fct: f64 =
+            out.fcts.iter().map(|&(_, f)| f).sum::<f64>() / out.fcts.len().max(1) as f64;
+        eprintln!(
+            "[fig14-16] {:>6}: {} flows, mean FCT {:.3} ms, PFC {}/{}/{}",
+            scheme.name(),
+            out.fcts.len(),
+            mean_fct * 1e3,
+            out.pfc_core,
+            out.pfc_ingress,
+            out.pfc_egress
+        );
+        g.bench_function(format!("fb_hadoop_70pct_{}", scheme.name()), |b| {
+            b.iter(|| {
+                black_box(run_fat_tree(
+                    scheme,
+                    Workload::FbHadoop,
+                    0.7,
+                    &tiny(),
+                    BufferRegime::Pfc,
+                    1,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_websearch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fct_websearch");
+    g.sample_size(10);
+    let out = run_fat_tree(
+        Scheme::Rocc,
+        Workload::WebSearch,
+        0.7,
+        &tiny(),
+        BufferRegime::Pfc,
+        1,
+    );
+    eprintln!(
+        "[fig17] RoCC WebSearch: core queue {:.0} B, ingress {:.0} B, egress {:.0} B",
+        out.q_core, out.q_ingress, out.q_egress
+    );
+    g.bench_function("websearch_70pct_rocc", |b| {
+        b.iter(|| {
+            black_box(run_fat_tree(
+                Scheme::Rocc,
+                Workload::WebSearch,
+                0.7,
+                &tiny(),
+                BufferRegime::Pfc,
+                1,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_buffer_regimes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("buffer_regimes");
+    g.sample_size(10);
+    for (name, regime) in [
+        ("unlimited_fig18", BufferRegime::Unlimited),
+        ("lossy3x_fig20", BufferRegime::Lossy3x),
+    ] {
+        let out = run_fat_tree(Scheme::Rocc, Workload::FbHadoop, 0.7, &tiny(), regime, 1);
+        eprintln!(
+            "[{}] RoCC: drops {}, retx {} B of {} B",
+            name, out.drops, out.retx_bytes, out.tx_data_bytes
+        );
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(run_fat_tree(
+                    Scheme::Rocc,
+                    Workload::FbHadoop,
+                    0.7,
+                    &tiny(),
+                    regime,
+                    1,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fct_by_scheme, bench_websearch, bench_buffer_regimes);
+criterion_main!(benches);

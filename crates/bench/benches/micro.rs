@@ -1,0 +1,72 @@
+//! Benchmarks regenerating the §6.1/§6.2 micro-benchmarks: Fig. 8
+//! (fairness/stability), Fig. 9 (convergence under load swings), and
+//! Fig. 13 (testbed-vs-sim validation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rocc_experiments::ablation::run_variant;
+use rocc_experiments::{micro, Scale};
+use rocc_core::RoccSwitchCcFactory;
+use rocc_sim::prelude::{SimConfig, SimTime};
+use std::hint::black_box;
+
+/// Fig. 8's core case (N = 10 on 40G), shortened to a 6 ms horizon so a
+/// criterion iteration stays sub-second; the fairness/queue outcome is
+/// printed once.
+fn bench_fig8(c: &mut Criterion) {
+    let r = run_variant(
+        "fig8-n10",
+        10,
+        RoccSwitchCcFactory::new(),
+        SimConfig::default(),
+        SimTime::from_millis(6),
+    );
+    eprintln!(
+        "[fig8] N=10: queue {:.0} B (Qref 150 KB), Jain fairness {:.4}",
+        r.queue_mean, r.fairness
+    );
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("dumbbell_n10_rocc_6ms", |b| {
+        b.iter(|| {
+            black_box(run_variant(
+                "bench",
+                10,
+                RoccSwitchCcFactory::new(),
+                SimConfig::default(),
+                SimTime::from_millis(6),
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let r = micro::fig9(Scale::Quick);
+    let last = r.rate.last().map(|s| s.v / 1e9).unwrap_or(0.0);
+    eprintln!("[fig9] final fair rate back at {:.1} Gb/s (expect ~13.3)", last);
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    g.bench_function("load_swing_3_to_96_flows", |b| {
+        b.iter(|| black_box(micro::fig9(Scale::Quick)))
+    });
+    g.finish();
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let runs = micro::fig13(Scale::Quick);
+    for r in &runs {
+        eprintln!(
+            "[fig13] {}-{}: queue {:.0} B (expect ~75 KB)",
+            r.profile, r.scenario, r.queue_mean
+        );
+    }
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(10);
+    g.bench_function("testbed_vs_sim_four_cells", |b| {
+        b.iter(|| black_box(micro::fig13(Scale::Quick)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig8, bench_fig9, bench_fig13);
+criterion_main!(benches);

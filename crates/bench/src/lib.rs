@@ -1,0 +1,9 @@
+//! # rocc-bench — benchmark harness
+//!
+//! All content lives in `benches/`: one Criterion target per group of
+//! paper artifacts (`analysis` → Figs. 5–7, `micro` → Figs. 8/9/13,
+//! `compare` → Figs. 11/12/19, `fct` → Figs. 14–18/20 + Table 3,
+//! `ablation` → the DESIGN.md §5 design-choice studies). Each bench prints
+//! the reproduced headline numbers once, then measures the run cost.
+
+#![warn(missing_docs)]

@@ -1,0 +1,146 @@
+//! Minimal complex arithmetic for frequency-domain analysis.
+//!
+//! Only what Bode analysis needs — no external numerics dependency, per the
+//! project's dependency policy.
+
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A complex number.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// 0 + 0i.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// 1 + 0i.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    /// Construct from parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// A purely imaginary number `jw`.
+    pub const fn j(w: f64) -> Self {
+        Complex { re: 0.0, im: w }
+    }
+
+    /// Magnitude |z|.
+    pub fn norm(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument in radians, in (−π, π].
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex exponential e^z.
+    pub fn exp(self) -> Complex {
+        let r = self.re.exp();
+        Complex::new(r * self.im.cos(), r * self.im.sin())
+    }
+
+    /// Reciprocal 1/z. Panics on zero.
+    pub fn recip(self) -> Complex {
+        let d = self.re * self.re + self.im * self.im;
+        assert!(d > 0.0, "division by complex zero");
+        Complex::new(self.re / d, -self.im / d)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    fn mul(self, k: f64) -> Complex {
+        Complex::new(self.re * k, self.im * k)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    fn div(self, o: Complex) -> Complex {
+        self * o.recip()
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn basic_ops() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        let q = a / b;
+        let back = q * b;
+        assert!((back.re - a.re).abs() < 1e-12);
+        assert!((back.im - a.im).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polar_properties() {
+        let z = Complex::j(2.0);
+        assert!((z.norm() - 2.0).abs() < 1e-12);
+        assert!((z.arg() - FRAC_PI_2).abs() < 1e-12);
+        assert!((Complex::new(-1.0, 0.0).arg() - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exp_of_imaginary_is_rotation() {
+        let z = Complex::j(PI).exp();
+        assert!((z.re + 1.0).abs() < 1e-12);
+        assert!(z.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn exp_of_real_matches_scalar() {
+        let z = Complex::new(1.0, 0.0).exp();
+        assert!((z.re - std::f64::consts::E).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by complex zero")]
+    fn div_by_zero_panics() {
+        let _ = Complex::ONE / Complex::ZERO;
+    }
+}

@@ -1,0 +1,18 @@
+//! # rocc-control — stability analysis of the RoCC PI loop
+//!
+//! Reproduces the paper's §5 control-theoretic analysis: the open-loop
+//! transfer function `G(s) = K(1 + s/z1)/s² · e^(−sT)` of the queue + PI +
+//! delay feedback loop ([`model`]), and Bode/phase-margin machinery
+//! ([`margin`]) behind Fig. 5 (margin over the (α, β) plane), Fig. 6
+//! (gain/phase traces for two N), and Fig. 7 (margin and loop bandwidth vs
+//! N for the six halving α:β pairs that motivate the auto-tuner).
+
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod margin;
+pub mod model;
+
+pub use complex::Complex;
+pub use margin::{analyze, bode_sweep, fig7_gain_pairs, phase_margin_surface, BodePoint, Margin, SurfacePoint};
+pub use model::LoopModel;

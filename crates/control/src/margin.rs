@@ -1,0 +1,231 @@
+//! Phase-margin and loop-bandwidth analysis (paper §5.2–§5.3, Figs. 5–7).
+
+use crate::model::LoopModel;
+
+/// Result of a stability analysis at one operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Margin {
+    /// Gain-crossover frequency ω_c (rad/s) where |G(jω)| = 1.
+    pub crossover_rad_s: f64,
+    /// Phase margin 180° + arg G(jω_c), in degrees. Positive ⇒ stable.
+    pub phase_margin_deg: f64,
+}
+
+impl Margin {
+    /// Loop bandwidth in Hz (the paper's Fig. 7b metric).
+    pub fn bandwidth_hz(&self) -> f64 {
+        self.crossover_rad_s / (2.0 * std::f64::consts::PI)
+    }
+}
+
+/// Find the gain crossover by bisection on log-frequency. |G| is strictly
+/// decreasing (double integrator with a single zero), so the crossover is
+/// unique.
+pub fn gain_crossover(m: &LoopModel) -> f64 {
+    let mut lo = 1e-2;
+    // Expand the bracket until |G| crosses unity inside it (very large
+    // loop gains — e.g. huge N — push the crossover arbitrarily high).
+    while m.magnitude(lo) <= 1.0 && lo > 1e-30 {
+        lo /= 1e3;
+    }
+    let mut hi = 1e9;
+    while m.magnitude(hi) >= 1.0 && hi < 1e30 {
+        hi *= 1e3;
+    }
+    debug_assert!(m.magnitude(lo) > 1.0, "|G| must start above unity");
+    debug_assert!(m.magnitude(hi) < 1.0, "|G| must end below unity");
+    for _ in 0..200 {
+        let mid = (lo.ln() + hi.ln()) / 2.0;
+        let w = mid.exp();
+        if m.magnitude(w) > 1.0 {
+            lo = w;
+        } else {
+            hi = w;
+        }
+    }
+    (lo * hi).sqrt()
+}
+
+/// Full margin analysis of a loop model.
+pub fn analyze(m: &LoopModel) -> Margin {
+    let wc = gain_crossover(m);
+    let pm = 180.0 + m.phase(wc).to_degrees();
+    Margin {
+        crossover_rad_s: wc,
+        phase_margin_deg: pm,
+    }
+}
+
+/// One cell of the Fig. 5 phase-margin surface.
+#[derive(Debug, Clone, Copy)]
+pub struct SurfacePoint {
+    /// PI gain α.
+    pub alpha: f64,
+    /// PI gain β.
+    pub beta: f64,
+    /// Phase margin in degrees.
+    pub phase_margin_deg: f64,
+}
+
+/// Fig. 5: phase margin over an (α, β) grid at fixed T and N.
+pub fn phase_margin_surface(
+    alphas: &[f64],
+    betas: &[f64],
+    n: f64,
+) -> Vec<SurfacePoint> {
+    let mut out = Vec::with_capacity(alphas.len() * betas.len());
+    for &a in alphas {
+        for &b in betas {
+            let m = LoopModel::paper(a, b, n);
+            out.push(SurfacePoint {
+                alpha: a,
+                beta: b,
+                phase_margin_deg: analyze(&m).phase_margin_deg,
+            });
+        }
+    }
+    out
+}
+
+/// The paper's six α:β pairs for Fig. 7: start at 0.3 : 3 and halve.
+pub fn fig7_gain_pairs() -> Vec<(f64, f64)> {
+    let mut pairs = Vec::with_capacity(6);
+    let (mut a, mut b) = (0.3, 3.0);
+    for _ in 0..6 {
+        pairs.push((a, b));
+        a /= 2.0;
+        b /= 2.0;
+    }
+    pairs
+}
+
+/// One point of the Fig. 6 Bode traces.
+#[derive(Debug, Clone, Copy)]
+pub struct BodePoint {
+    /// Angular frequency (rad/s).
+    pub w: f64,
+    /// Gain in dB.
+    pub gain_db: f64,
+    /// Phase in degrees.
+    pub phase_deg: f64,
+}
+
+/// Log-spaced Bode sweep between `w_lo` and `w_hi`.
+pub fn bode_sweep(m: &LoopModel, w_lo: f64, w_hi: f64, points: usize) -> Vec<BodePoint> {
+    assert!(points >= 2 && w_hi > w_lo && w_lo > 0.0);
+    let step = (w_hi / w_lo).ln() / (points - 1) as f64;
+    (0..points)
+        .map(|i| {
+            let w = w_lo * (step * i as f64).exp();
+            BodePoint {
+                w,
+                gain_db: 20.0 * m.magnitude(w).log10(),
+                phase_deg: m.phase(w).to_degrees(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossover_is_unity_gain() {
+        let m = LoopModel::paper(0.3, 1.5, 2.0);
+        let wc = gain_crossover(&m);
+        assert!((m.magnitude(wc) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn default_40g_gains_are_stable_for_n2() {
+        let m = LoopModel::paper(0.3, 1.5, 2.0);
+        let r = analyze(&m);
+        assert!(
+            r.phase_margin_deg > 20.0,
+            "N=2 must be comfortably stable: {:.1}°",
+            r.phase_margin_deg
+        );
+    }
+
+    #[test]
+    fn fixed_gains_go_unstable_at_large_n() {
+        // Paper Fig. 6: raising N from 2 to 10 with fixed gains collapses
+        // the margin (50° → −50° in their example).
+        let m = LoopModel::paper(0.3, 3.0, 128.0);
+        let r = analyze(&m);
+        assert!(
+            r.phase_margin_deg < 0.0,
+            "N=128 with the largest gains must be unstable: {:.1}°",
+            r.phase_margin_deg
+        );
+    }
+
+    #[test]
+    fn conservative_pair_stable_for_all_n() {
+        // Paper §5.2: α = 0.0093, β = 0.0937 keeps PM > 20° for N ∈ [2,128].
+        for n in [2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0] {
+            let m = LoopModel::paper(0.0093, 0.0937, n);
+            let r = analyze(&m);
+            assert!(
+                r.phase_margin_deg > 20.0,
+                "N={n}: PM {:.1}° ≤ 20°",
+                r.phase_margin_deg
+            );
+        }
+    }
+
+    #[test]
+    fn smaller_gains_slower_loop() {
+        // Fig. 7b: halving the gains lowers loop bandwidth at fixed N.
+        let fast = analyze(&LoopModel::paper(0.3, 3.0, 2.0));
+        let slow = analyze(&LoopModel::paper(0.075, 0.75, 2.0));
+        assert!(slow.bandwidth_hz() < fast.bandwidth_hz());
+    }
+
+    #[test]
+    fn auto_tune_effect_keeps_margin_roughly_constant() {
+        // The auto-tuner divides gains by ~N's octave, keeping N·α roughly
+        // constant: PM at (N=2, pair 0) ≈ PM at (N=64, pair 5).
+        let pairs = fig7_gain_pairs();
+        let pm_small_n = analyze(&LoopModel::paper(pairs[0].0, pairs[0].1, 2.0));
+        let pm_large_n = analyze(&LoopModel::paper(pairs[5].0, pairs[5].1, 64.0));
+        assert!(
+            (pm_small_n.phase_margin_deg - pm_large_n.phase_margin_deg).abs() < 10.0,
+            "{:.1}° vs {:.1}°",
+            pm_small_n.phase_margin_deg,
+            pm_large_n.phase_margin_deg
+        );
+    }
+
+    #[test]
+    fn six_pairs_generated() {
+        let p = fig7_gain_pairs();
+        assert_eq!(p.len(), 6);
+        assert!((p[0].0 - 0.3).abs() < 1e-12);
+        assert!((p[5].0 - 0.3 / 32.0).abs() < 1e-12);
+        assert!((p[5].1 - 3.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn surface_covers_grid() {
+        let s = phase_margin_surface(&[0.01, 0.1], &[0.1, 1.0, 2.0], 2.0);
+        assert_eq!(s.len(), 6);
+        // Margin varies across the grid.
+        let (min, max) = s.iter().fold((f64::MAX, f64::MIN), |(lo, hi), p| {
+            (lo.min(p.phase_margin_deg), hi.max(p.phase_margin_deg))
+        });
+        assert!(max > min);
+    }
+
+    #[test]
+    fn bode_sweep_shape() {
+        let m = LoopModel::paper(0.3, 1.5, 2.0);
+        let pts = bode_sweep(&m, 10.0, 1e6, 64);
+        assert_eq!(pts.len(), 64);
+        // Gain monotonically decreasing.
+        for w in pts.windows(2) {
+            assert!(w[1].gain_db < w[0].gain_db);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! The RoCC control loop's open-loop transfer function (paper §5.1).
+//!
+//! With N flows shaped by the published fair rate on a link of capacity C,
+//! the queue dynamic (Eq. 2) and the bilinear-transformed PI law (Eq. 3)
+//! Laplace-transform into the open loop (Eq. 6)
+//!
+//! ```text
+//!          K (1 + s/z1)
+//! G(s) =  ------------- · e^(−sT),   z1 = α / ((β + α/2)·T),  K = κNα/T
+//!              s²
+//! ```
+//!
+//! with κ = ΔF/ΔQ converting rate units into queue-unit slew (we keep the
+//! paper's unit convention: rate in multiples of ΔF per second drains
+//! ΔF/(8·ΔQ) queue units per second).
+
+use crate::complex::Complex;
+
+/// The loop model: PI gains, update interval, flow count, unit scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoopModel {
+    /// PI gain α.
+    pub alpha: f64,
+    /// PI gain β.
+    pub beta: f64,
+    /// Update interval T in seconds.
+    pub t: f64,
+    /// Number of flows sharing the link.
+    pub n: f64,
+    /// Unit conversion κ = ΔF / (8·ΔQ) in queue-units/s per rate-unit.
+    pub kappa: f64,
+}
+
+impl LoopModel {
+    /// Paper defaults: T = 40 µs, ΔF = 10 Mb/s, ΔQ = 600 B.
+    pub fn paper(alpha: f64, beta: f64, n: f64) -> Self {
+        LoopModel {
+            alpha,
+            beta,
+            t: 40e-6,
+            n,
+            kappa: 10e6 / (8.0 * 600.0),
+        }
+    }
+
+    /// The PI zero z1 = α / ((β + α/2)·T), rad/s.
+    pub fn z1(&self) -> f64 {
+        self.alpha / ((self.beta + self.alpha / 2.0) * self.t)
+    }
+
+    /// Open-loop gain constant K = κNα/T.
+    pub fn k(&self) -> f64 {
+        self.kappa * self.n * self.alpha / self.t
+    }
+
+    /// Evaluate G(jω).
+    pub fn open_loop(&self, w: f64) -> Complex {
+        assert!(w > 0.0, "frequency must be positive");
+        let s = Complex::j(w);
+        let num = (Complex::ONE + s * (1.0 / self.z1())) * self.k();
+        let den = s * s;
+        let delay = Complex::j(-w * self.t).exp();
+        num / den * delay
+    }
+
+    /// |G(jω)| analytically (cheaper and exact for crossover search).
+    pub fn magnitude(&self, w: f64) -> f64 {
+        assert!(w > 0.0, "frequency must be positive");
+        self.k() * (1.0 + (w / self.z1()).powi(2)).sqrt() / (w * w)
+    }
+
+    /// arg G(jω) in radians: −π (double integrator) + atan(ω/z1) − ωT.
+    pub fn phase(&self, w: f64) -> f64 {
+        assert!(w > 0.0, "frequency must be positive");
+        -std::f64::consts::PI + (w / self.z1()).atan() - w * self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z1_and_k_match_formulas() {
+        let m = LoopModel::paper(0.3, 1.5, 2.0);
+        let z1 = 0.3 / ((1.5 + 0.15) * 40e-6);
+        assert!((m.z1() - z1).abs() / z1 < 1e-12);
+        let k = (10e6 / 4800.0) * 2.0 * 0.3 / 40e-6;
+        assert!((m.k() - k).abs() / k < 1e-12);
+    }
+
+    #[test]
+    fn analytic_matches_complex_evaluation() {
+        let m = LoopModel::paper(0.3, 1.5, 10.0);
+        for &w in &[100.0, 1e3, 1e4, 1e5] {
+            let g = m.open_loop(w);
+            assert!(
+                (g.norm() - m.magnitude(w)).abs() / m.magnitude(w) < 1e-9,
+                "magnitude mismatch at ω={w}"
+            );
+            // Phases agree modulo 2π.
+            let d = (g.arg() - m.phase(w)).rem_euclid(2.0 * std::f64::consts::PI);
+            assert!(
+                d < 1e-9 || (2.0 * std::f64::consts::PI - d) < 1e-9,
+                "phase mismatch at ω={w}: {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn gain_scales_linearly_with_n() {
+        let m2 = LoopModel::paper(0.3, 1.5, 2.0);
+        let m10 = LoopModel::paper(0.3, 1.5, 10.0);
+        let w = 5e3;
+        assert!(((m10.magnitude(w) / m2.magnitude(w)) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn magnitude_decreases_past_zero() {
+        let m = LoopModel::paper(0.3, 1.5, 2.0);
+        let z = m.z1();
+        assert!(m.magnitude(10.0 * z) < m.magnitude(2.0 * z));
+    }
+
+    #[test]
+    fn phase_starts_at_minus_180_and_delay_dominates_high_freq() {
+        let m = LoopModel::paper(0.3, 1.5, 2.0);
+        // Far below the zero: double-integrator phase ≈ −180°.
+        let p_low = m.phase(1e-3).to_degrees();
+        assert!((p_low + 180.0).abs() < 1.0, "low-freq phase {p_low}");
+        // Far above: delay term −ωT dominates and the phase dives.
+        let p_high = m.phase(1e6).to_degrees();
+        assert!(p_high < -1000.0);
+    }
+}

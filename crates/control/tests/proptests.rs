@@ -1,0 +1,113 @@
+//! Property-based tests for the control-theoretic analysis.
+
+use proptest::prelude::*;
+use rocc_control::margin::gain_crossover;
+use rocc_control::{analyze, Complex, LoopModel};
+
+proptest! {
+    /// Complex arithmetic satisfies field identities.
+    #[test]
+    fn complex_field_identities(
+        a in -1e6f64..1e6, b in -1e6f64..1e6,
+        c in -1e6f64..1e6, d in -1e6f64..1e6,
+    ) {
+        let x = Complex::new(a, b);
+        let y = Complex::new(c, d);
+        // Commutativity.
+        prop_assert_eq!(x + y, y + x);
+        prop_assert_eq!(x * y, y * x);
+        // |xy| = |x||y| (within float tolerance).
+        let lhs = (x * y).norm();
+        let rhs = x.norm() * y.norm();
+        prop_assert!((lhs - rhs).abs() <= 1e-6 * rhs.max(1.0));
+        // Multiplicative inverse (when y != 0).
+        if y.norm() > 1e-6 {
+            let z = x / y * y;
+            prop_assert!((z.re - x.re).abs() < 1e-4 * x.norm().max(1.0));
+            prop_assert!((z.im - x.im).abs() < 1e-4 * x.norm().max(1.0));
+        }
+    }
+
+    /// |G(jω)| is strictly decreasing for the RoCC loop (the precondition
+    /// for the bisection crossover search).
+    #[test]
+    fn magnitude_strictly_decreasing(
+        alpha in 0.001f64..1.0,
+        beta_ratio in 1.0f64..20.0,
+        n in 1.0f64..200.0,
+        w in 1.0f64..1e7,
+    ) {
+        let m = LoopModel::paper(alpha, alpha * beta_ratio, n);
+        prop_assert!(m.magnitude(w * 1.5) < m.magnitude(w));
+    }
+
+    /// The crossover found by bisection is actually unity gain, and the
+    /// analysis is deterministic.
+    #[test]
+    fn crossover_is_unity(
+        alpha in 0.001f64..1.0,
+        beta_ratio in 1.0f64..20.0,
+        n in 1.0f64..200.0,
+    ) {
+        let m = LoopModel::paper(alpha, alpha * beta_ratio, n);
+        let wc = gain_crossover(&m);
+        prop_assert!((m.magnitude(wc) - 1.0).abs() < 1e-5, "|G| = {}", m.magnitude(wc));
+        prop_assert_eq!(analyze(&m).crossover_rad_s, analyze(&m).crossover_rad_s);
+    }
+
+    /// The margin-vs-crossover curve `atan(ω/z1) − ωT` is unimodal with a
+    /// peak at ω* = z1·√(1/(z1·T) − 1); past that peak, more flows (more
+    /// gain → higher crossover) strictly erode the margin — the Fig. 6
+    /// effect that motivates the auto-tuner.
+    #[test]
+    fn margin_decreases_with_n_past_the_peak(
+        alpha in 0.005f64..0.5,
+        beta_ratio in 2.0f64..15.0,
+        n in 2.0f64..64.0,
+    ) {
+        let m1 = LoopModel::paper(alpha, alpha * beta_ratio, n);
+        let m2 = LoopModel::paper(alpha, alpha * beta_ratio, n * 2.0);
+        let z1 = m1.z1();
+        prop_assume!(z1 * m1.t < 1.0);
+        let w_star = z1 * (1.0 / (z1 * m1.t) - 1.0).sqrt();
+        prop_assume!(gain_crossover(&m1) >= w_star);
+        let pm1 = analyze(&m1).phase_margin_deg;
+        let pm2 = analyze(&m2).phase_margin_deg;
+        prop_assert!(pm2 <= pm1 + 1e-6, "N {n} -> {}: margin {pm1} -> {pm2}", n * 2.0);
+    }
+
+    /// Dually, once past the peak, scaling the gains down (fixed α:β
+    /// ratio, so z1 is unchanged) lowers the crossover and recovers
+    /// margin — Fig. 7a's premise behind the halving gain ladder.
+    #[test]
+    fn smaller_gains_recover_margin_past_the_peak(
+        alpha in 0.01f64..0.5,
+        n in 2.0f64..128.0,
+        shift in 1u32..6,
+    ) {
+        let beta = alpha * 10.0;
+        let k = 2f64.powi(shift as i32);
+        let big_model = LoopModel::paper(alpha, beta, n);
+        let small_model = LoopModel::paper(alpha / k, beta / k, n);
+        let z1 = big_model.z1();
+        prop_assume!(z1 * big_model.t < 1.0);
+        let w_star = z1 * (1.0 / (z1 * big_model.t) - 1.0).sqrt();
+        // Smaller gains give the lower crossover; both must sit past ω*.
+        prop_assume!(gain_crossover(&small_model) >= w_star);
+        let big = analyze(&big_model).phase_margin_deg;
+        let small = analyze(&small_model).phase_margin_deg;
+        prop_assert!(small >= big - 1e-6, "margin {big} -> {small} after /{k}");
+    }
+
+    /// With any fixed gains, enough flows always destabilize the loop —
+    /// the impossibility result that makes auto-tuning necessary rather
+    /// than optional.
+    #[test]
+    fn any_fixed_gains_eventually_unstable(
+        alpha in 0.001f64..1.0,
+        beta_ratio in 1.0f64..20.0,
+    ) {
+        let m = LoopModel::paper(alpha, alpha * beta_ratio, 1e6);
+        prop_assert!(analyze(&m).phase_margin_deg < 0.0);
+    }
+}

@@ -1,0 +1,343 @@
+//! CNP wire format.
+//!
+//! RoCC carries its feedback in ICMP messages using reserved type 253 (the
+//! paper's DPDK implementation does exactly this, §6.2), prioritized by the
+//! fabric. The message body carries the fair rate in multiples of ΔF plus
+//! enough identity to match the feedback to the right rate limiter: the
+//! originating congestion point (switch + port) and the flow id.
+//!
+//! The simulator forwards decoded descriptors, but this module is a real
+//! encoder/decoder over bytes — it is what a DPDK/raw-socket RP would parse
+//! — with the standard internet checksum.
+
+use bytes::{Buf, BufMut};
+use rocc_sim::prelude::{CpId, FlowId, NodeId, PortId};
+
+/// ICMP type used for RoCC CNPs (reserved/experimental, per the paper).
+pub const ICMP_TYPE_ROCC: u8 = 253;
+/// ICMP code for rate feedback.
+pub const ICMP_CODE_RATE: u8 = 0;
+/// ICMP code for queue reports (§3.6 host-side rate computation).
+pub const ICMP_CODE_QUEUE_REPORT: u8 = 1;
+/// Magic tag opening the payload.
+pub const MAGIC: [u8; 4] = *b"RoCC";
+/// Protocol version.
+pub const VERSION: u8 = 1;
+/// Encoded message length in bytes.
+pub const WIRE_LEN: usize = 28;
+
+/// A decoded CNP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cnp {
+    /// Fair rate in multiples of ΔF.
+    pub fair_rate_units: u32,
+    /// Originating congestion point.
+    pub cp: CpId,
+    /// The flow the rate applies to.
+    pub flow: FlowId,
+}
+
+/// Errors from [`Cnp::decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CnpError {
+    /// Buffer shorter than [`WIRE_LEN`].
+    Truncated,
+    /// Not ICMP type 253 / code 0.
+    WrongType,
+    /// Payload magic/version mismatch.
+    BadMagic,
+    /// Internet checksum failed.
+    BadChecksum,
+}
+
+impl std::fmt::Display for CnpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CnpError::Truncated => write!(f, "CNP truncated"),
+            CnpError::WrongType => write!(f, "not a RoCC CNP (ICMP type/code)"),
+            CnpError::BadMagic => write!(f, "bad CNP magic or version"),
+            CnpError::BadChecksum => write!(f, "CNP checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for CnpError {}
+
+/// RFC 1071 internet checksum over `data` (even length required here; the
+/// encoded CNP always is).
+fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    for chunk in data.chunks(2) {
+        let word = if chunk.len() == 2 {
+            u16::from_be_bytes([chunk[0], chunk[1]])
+        } else {
+            u16::from_be_bytes([chunk[0], 0])
+        };
+        sum += word as u32;
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+impl Cnp {
+    /// Encode into `buf` (ICMP header + RoCC payload, checksummed).
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        let start = buf.len();
+        buf.put_u8(ICMP_TYPE_ROCC);
+        buf.put_u8(ICMP_CODE_RATE);
+        buf.put_u16(0); // checksum placeholder
+        buf.put_slice(&MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u8(0); // reserved
+        buf.put_u16(self.cp.port.0 as u16);
+        buf.put_u32(self.fair_rate_units);
+        buf.put_u32(self.cp.node.0 as u32);
+        buf.put_u64(self.flow.0);
+        debug_assert_eq!(buf.len() - start, WIRE_LEN);
+        let ck = internet_checksum(&buf[start..]);
+        buf[start + 2..start + 4].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    /// Encode into a fresh buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(WIRE_LEN);
+        self.encode(&mut v);
+        v
+    }
+
+    /// Decode and verify a CNP from `data`.
+    pub fn decode(data: &[u8]) -> Result<Cnp, CnpError> {
+        if data.len() < WIRE_LEN {
+            return Err(CnpError::Truncated);
+        }
+        let mut b = &data[..WIRE_LEN];
+        let ty = b.get_u8();
+        let code = b.get_u8();
+        if ty != ICMP_TYPE_ROCC || code != ICMP_CODE_RATE {
+            return Err(CnpError::WrongType);
+        }
+        let _ck = b.get_u16();
+        if internet_checksum(&data[..WIRE_LEN]) != 0 {
+            return Err(CnpError::BadChecksum);
+        }
+        let mut magic = [0u8; 4];
+        b.copy_to_slice(&mut magic);
+        let version = b.get_u8();
+        let _reserved = b.get_u8();
+        if magic != MAGIC || version != VERSION {
+            return Err(CnpError::BadMagic);
+        }
+        let port = b.get_u16();
+        let fair_rate_units = b.get_u32();
+        let node = b.get_u32();
+        let flow = b.get_u64();
+        Ok(Cnp {
+            fair_rate_units,
+            cp: CpId {
+                node: NodeId(node as usize),
+                port: PortId(port as usize),
+            },
+            flow: FlowId(flow),
+        })
+    }
+}
+
+/// A decoded queue report (§3.6): the CP ships Qcur and Fmax; the host
+/// computes the rate locally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueReport {
+    /// Queue depth in multiples of ΔQ.
+    pub q_cur_units: u32,
+    /// The CP's Fmax in multiples of ΔF (parameter-registry key).
+    pub f_max_units: u32,
+    /// Originating congestion point.
+    pub cp: CpId,
+    /// The flow the report applies to.
+    pub flow: FlowId,
+}
+
+/// Encoded queue-report length in bytes.
+pub const QUEUE_REPORT_WIRE_LEN: usize = 32;
+
+impl QueueReport {
+    /// Encode into `buf` (ICMP header + payload, checksummed).
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        let start = buf.len();
+        buf.put_u8(ICMP_TYPE_ROCC);
+        buf.put_u8(ICMP_CODE_QUEUE_REPORT);
+        buf.put_u16(0); // checksum placeholder
+        buf.put_slice(&MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u8(0); // reserved
+        buf.put_u16(self.cp.port.0 as u16);
+        buf.put_u32(self.q_cur_units);
+        buf.put_u32(self.f_max_units);
+        buf.put_u32(self.cp.node.0 as u32);
+        buf.put_u64(self.flow.0);
+        debug_assert_eq!(buf.len() - start, QUEUE_REPORT_WIRE_LEN);
+        let ck = internet_checksum(&buf[start..]);
+        buf[start + 2..start + 4].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    /// Encode into a fresh buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(QUEUE_REPORT_WIRE_LEN);
+        self.encode(&mut v);
+        v
+    }
+
+    /// Decode and verify a queue report from `data`.
+    pub fn decode(data: &[u8]) -> Result<QueueReport, CnpError> {
+        if data.len() < QUEUE_REPORT_WIRE_LEN {
+            return Err(CnpError::Truncated);
+        }
+        let mut b = &data[..QUEUE_REPORT_WIRE_LEN];
+        let ty = b.get_u8();
+        let code = b.get_u8();
+        if ty != ICMP_TYPE_ROCC || code != ICMP_CODE_QUEUE_REPORT {
+            return Err(CnpError::WrongType);
+        }
+        let _ck = b.get_u16();
+        if internet_checksum(&data[..QUEUE_REPORT_WIRE_LEN]) != 0 {
+            return Err(CnpError::BadChecksum);
+        }
+        let mut magic = [0u8; 4];
+        b.copy_to_slice(&mut magic);
+        let version = b.get_u8();
+        let _reserved = b.get_u8();
+        if magic != MAGIC || version != VERSION {
+            return Err(CnpError::BadMagic);
+        }
+        let port = b.get_u16();
+        let q_cur_units = b.get_u32();
+        let f_max_units = b.get_u32();
+        let node = b.get_u32();
+        let flow = b.get_u64();
+        Ok(QueueReport {
+            q_cur_units,
+            f_max_units,
+            cp: CpId {
+                node: NodeId(node as usize),
+                port: PortId(port as usize),
+            },
+            flow: FlowId(flow),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Cnp {
+        Cnp {
+            fair_rate_units: 1234,
+            cp: CpId {
+                node: NodeId(7),
+                port: PortId(3),
+            },
+            flow: FlowId(0xdead_beef_0042),
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let c = sample();
+        let bytes = c.to_bytes();
+        assert_eq!(bytes.len(), WIRE_LEN);
+        assert_eq!(Cnp::decode(&bytes), Ok(c));
+    }
+
+    #[test]
+    fn checksum_catches_corruption() {
+        let mut bytes = sample().to_bytes();
+        bytes[10] ^= 0xff;
+        assert_eq!(Cnp::decode(&bytes), Err(CnpError::BadChecksum));
+    }
+
+    #[test]
+    fn wrong_type_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = 8; // echo request
+        assert_eq!(Cnp::decode(&bytes), Err(CnpError::WrongType));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = sample().to_bytes();
+        assert_eq!(Cnp::decode(&bytes[..10]), Err(CnpError::Truncated));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let c = sample();
+        let mut bytes = c.to_bytes();
+        // Corrupt magic but re-checksum so only the magic check fires.
+        bytes[4] = b'X';
+        bytes[2] = 0;
+        bytes[3] = 0;
+        let ck = internet_checksum(&bytes);
+        bytes[2..4].copy_from_slice(&ck.to_be_bytes());
+        assert_eq!(Cnp::decode(&bytes), Err(CnpError::BadMagic));
+    }
+
+    #[test]
+    fn checksum_of_valid_message_is_zero() {
+        let bytes = sample().to_bytes();
+        assert_eq!(internet_checksum(&bytes), 0);
+    }
+
+    #[test]
+    fn queue_report_round_trip() {
+        let r = QueueReport {
+            q_cur_units: 612,
+            f_max_units: 4000,
+            cp: CpId {
+                node: NodeId(9),
+                port: PortId(2),
+            },
+            flow: FlowId(77),
+        };
+        let bytes = r.to_bytes();
+        assert_eq!(bytes.len(), QUEUE_REPORT_WIRE_LEN);
+        assert_eq!(QueueReport::decode(&bytes), Ok(r));
+    }
+
+    #[test]
+    fn message_codes_are_disjoint() {
+        // A rate CNP never parses as a queue report and vice versa. (The
+        // shorter CNP trips the report's length check before its code
+        // check.)
+        let c = sample().to_bytes();
+        assert!(QueueReport::decode(&c).is_err());
+        let r = QueueReport {
+            q_cur_units: 1,
+            f_max_units: 1,
+            cp: CpId {
+                node: NodeId(0),
+                port: PortId(0),
+            },
+            flow: FlowId(0),
+        }
+        .to_bytes();
+        assert_eq!(Cnp::decode(&r), Err(CnpError::WrongType));
+    }
+
+    #[test]
+    fn corrupted_queue_report_rejected() {
+        let r = QueueReport {
+            q_cur_units: 612,
+            f_max_units: 4000,
+            cp: CpId {
+                node: NodeId(9),
+                port: PortId(2),
+            },
+            flow: FlowId(77),
+        };
+        let mut bytes = r.to_bytes();
+        bytes[12] ^= 0x01;
+        assert_eq!(QueueReport::decode(&bytes), Err(CnpError::BadChecksum));
+    }
+}

@@ -1,0 +1,245 @@
+//! Host-side rate computation (paper §3.6).
+//!
+//! RoCC does not require the switch to carry out the rate computation: the
+//! CP can instead ship its raw queue depth (plus enough identity to pick a
+//! parameter profile) and let the host replicate Alg. 1. This flexibility
+//! matters on legacy ASICs with no arithmetic in the feedback path.
+//!
+//! The reaction point here keeps one [`FairRateCalculator`] replica per
+//! congestion point it hears from, feeds each queue report into the right
+//! replica, and then applies the exact same Alg. 2 arbitration and fast
+//! recovery as the switch-computed mode — so multi-bottleneck behaviour is
+//! unchanged.
+
+use crate::cp::FairRateCalculator;
+use crate::params::{CpParams, RpParams};
+use crate::rp::RECOVERY_TOKEN;
+use rocc_sim::cc::{FeedbackEvent, HostCc, HostCcCtx, RateDecision};
+use rocc_sim::prelude::{BitRate, CpId};
+use std::collections::HashMap;
+
+/// The "simple registry" of §3.6: map a CP's advertised Fmax to its full
+/// parameter profile.
+pub fn params_for_f_max(f_max_units: u32) -> CpParams {
+    if f_max_units >= 10_000 {
+        CpParams::for_100g()
+    } else if f_max_units >= 4_000 {
+        CpParams::for_40g()
+    } else {
+        CpParams::for_10g_testbed()
+    }
+}
+
+/// Reaction point that computes the fair rate locally from CP queue
+/// reports (§3.6 mode), then runs the standard Alg. 2 arbitration.
+pub struct HostCalcRoccCc {
+    p: RpParams,
+    r_max: BitRate,
+    /// Per-CP fair-rate replicas.
+    calcs: HashMap<CpId, FairRateCalculator>,
+    r_cur: BitRate,
+    cp_cur: Option<CpId>,
+    installed: bool,
+}
+
+impl HostCalcRoccCc {
+    /// A fresh flow starts uninstalled (line rate).
+    pub fn new(p: RpParams, r_max: BitRate) -> Self {
+        HostCalcRoccCc {
+            p,
+            r_max,
+            calcs: HashMap::new(),
+            r_cur: r_max,
+            cp_cur: None,
+            installed: false,
+        }
+    }
+
+    /// Number of CP replicas currently tracked (diagnostics).
+    pub fn tracked_cps(&self) -> usize {
+        self.calcs.len()
+    }
+
+    /// True while the rate limiter is installed.
+    pub fn is_installed(&self) -> bool {
+        self.installed
+    }
+}
+
+impl HostCc for HostCalcRoccCc {
+    fn decision(&self) -> RateDecision {
+        if self.installed {
+            RateDecision::line_rate(self.r_cur.min(self.r_max))
+        } else {
+            RateDecision::line_rate(self.r_max)
+        }
+    }
+
+    fn on_feedback(&mut self, ctx: &mut HostCcCtx, fb: FeedbackEvent) {
+        let FeedbackEvent::RoccQueueReport {
+            q_cur_units,
+            f_max_units,
+            cp,
+        } = fb
+        else {
+            return;
+        };
+        // Replicate the CP's Alg. 1 locally.
+        let calc = self.calcs.entry(cp).or_insert_with(|| {
+            FairRateCalculator::new(params_for_f_max(f_max_units))
+        });
+        let q_bytes = q_cur_units as u64 * calc.params().delta_q;
+        let (units, _) = calc.update(q_bytes);
+        if !calc.is_congested() {
+            return; // this CP imposes no limit
+        }
+        let r_rcvd = BitRate::from_bps(self.p.delta_f.as_bps() * units as u64);
+        // Alg. 2 arbitration, unchanged.
+        let accept =
+            !self.installed || r_rcvd <= self.r_cur || self.cp_cur == Some(cp);
+        if accept {
+            self.r_cur = r_rcvd;
+            self.cp_cur = Some(cp);
+            self.installed = true;
+            ctx.set_timer(RECOVERY_TOKEN, self.p.recovery_timer);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut HostCcCtx, token: u8) {
+        if token != RECOVERY_TOKEN || !self.installed {
+            return;
+        }
+        if self.r_cur > self.r_max {
+            self.installed = false;
+            self.cp_cur = None;
+            self.r_cur = self.r_max;
+            // Reports stopped arriving: discard stale replicas so a later
+            // congestion episode starts from fresh CP state.
+            self.calcs.clear();
+            return;
+        }
+        self.r_cur = self.r_cur.saturating_double();
+        ctx.set_timer(RECOVERY_TOKEN, self.p.recovery_timer);
+    }
+}
+
+/// Factory installing [`HostCalcRoccCc`] on every flow.
+#[derive(Debug, Clone, Default)]
+pub struct HostCalcRoccFactory {
+    /// RP parameters.
+    pub params: RpParams,
+}
+
+impl rocc_sim::cc::HostCcFactory for HostCalcRoccFactory {
+    fn make(
+        &self,
+        _flow: rocc_sim::prelude::FlowId,
+        link_rate: BitRate,
+    ) -> Box<dyn HostCc> {
+        Box::new(HostCalcRoccCc::new(self.params, link_rate))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rocc_sim::prelude::{NodeId, PortId, SimTime};
+
+    fn ctx() -> HostCcCtx {
+        HostCcCtx {
+            now: SimTime::ZERO,
+            link_rate: BitRate::from_gbps(40),
+            set_timers: Vec::new(),
+            cancel_timers: Vec::new(),
+        }
+    }
+
+    fn cp(n: usize) -> CpId {
+        CpId {
+            node: NodeId(n),
+            port: PortId(0),
+        }
+    }
+
+    fn report(q_units: u32, f_max: u32, c: CpId) -> FeedbackEvent {
+        FeedbackEvent::RoccQueueReport {
+            q_cur_units: q_units,
+            f_max_units: f_max,
+            cp: c,
+        }
+    }
+
+    #[test]
+    fn registry_maps_f_max_to_profiles() {
+        assert_eq!(params_for_f_max(10_000), CpParams::for_100g());
+        assert_eq!(params_for_f_max(4_000), CpParams::for_40g());
+        assert_eq!(params_for_f_max(1_000), CpParams::for_10g_testbed());
+    }
+
+    #[test]
+    fn deep_queue_report_installs_md_rate() {
+        let mut cc = HostCalcRoccCc::new(RpParams::default(), BitRate::from_gbps(40));
+        let mut c = ctx();
+        // Queue above Qmax (600 ΔQ units for 40G): local MD slams to Fmin.
+        cc.on_feedback(&mut c, report(700, 4000, cp(1)));
+        assert!(cc.is_installed());
+        assert_eq!(cc.decision().rate, BitRate::from_mbps(100)); // Fmin
+        assert_eq!(cc.tracked_cps(), 1);
+    }
+
+    #[test]
+    fn replica_matches_switch_computation() {
+        // Feeding the same queue trajectory into the host replica and into
+        // a directly-driven calculator produces identical rates.
+        let mut direct = FairRateCalculator::new(CpParams::for_40g());
+        let mut cc = HostCalcRoccCc::new(RpParams::default(), BitRate::from_gbps(40));
+        let trajectory = [700u32, 400, 300, 260, 250, 250, 240, 255, 250];
+        for q in trajectory {
+            let (expect, _) = direct.update(q as u64 * 600);
+            let mut c = ctx();
+            cc.on_feedback(&mut c, report(q, 4000, cp(1)));
+            if direct.is_congested() {
+                let expect_rate = BitRate::from_mbps(10).scale(expect as f64);
+                assert_eq!(cc.decision().rate, expect_rate, "at q = {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_cp_arbitration_still_applies() {
+        let mut cc = HostCalcRoccCc::new(RpParams::default(), BitRate::from_gbps(40));
+        let mut c = ctx();
+        // CP 1 congested mildly; its replica computes some rate R1.
+        cc.on_feedback(&mut c, report(400, 4000, cp(1)));
+        let r1 = cc.decision().rate;
+        // CP 2 reports a much deeper queue: its MD rate is lower → accepted.
+        cc.on_feedback(&mut c, report(700, 4000, cp(2)));
+        assert!(cc.decision().rate < r1);
+        assert_eq!(cc.tracked_cps(), 2);
+    }
+
+    #[test]
+    fn uncongested_reports_do_not_install() {
+        let mut cc = HostCalcRoccCc::new(RpParams::default(), BitRate::from_gbps(40));
+        let mut c = ctx();
+        cc.on_feedback(&mut c, report(0, 4000, cp(1)));
+        assert!(!cc.is_installed(), "empty queue must not throttle");
+    }
+
+    #[test]
+    fn recovery_clears_replicas() {
+        let mut cc = HostCalcRoccCc::new(RpParams::default(), BitRate::from_gbps(40));
+        let mut c = ctx();
+        cc.on_feedback(&mut c, report(700, 4000, cp(1)));
+        assert!(cc.is_installed());
+        for _ in 0..16 {
+            let mut c = ctx();
+            cc.on_timer(&mut c, RECOVERY_TOKEN);
+            if !cc.is_installed() {
+                break;
+            }
+        }
+        assert!(!cc.is_installed());
+        assert_eq!(cc.tracked_cps(), 0, "stale replicas must be dropped");
+    }
+}

@@ -1,0 +1,77 @@
+//! # rocc-core — RoCC: Robust Congestion Control for RDMA
+//!
+//! The reference implementation of the RoCC scheme (Taheri et al.,
+//! CoNEXT '20), pluggable into the `rocc-sim` packet-level simulator.
+//!
+//! RoCC is *switch-driven*: the congestion point (a switch egress port)
+//! computes the max-min fair rate with a self-tuning PI controller on the
+//! queue depth and sends it straight to flow sources in prioritized ICMP
+//! CNPs; the reaction point (a per-flow rate limiter at the host) follows
+//! the most congested CP on the flow's path and recovers exponentially
+//! when feedback stops.
+//!
+//! Components (paper §3):
+//!
+//! * [`cp::FairRateCalculator`] — Alg. 1: multiplicative decrease, PI
+//!   update, six-level gain auto-tuning; fixed-point datapath ([`fixed`]).
+//! * [`flow_table`] — who gets CNPs: in-queue (default), bounded+age,
+//!   sampling (ElephantTrap-style).
+//! * [`cnp`] — the ICMP type-253 wire format with checksum.
+//! * [`switch_cc::RoccSwitchCc`] — the CP wired to the simulator.
+//! * [`rp::RoccHostCc`] — Alg. 2: CNP arbitration + fast recovery.
+//! * [`params`] — the paper's published constants for 10/40/100 Gb/s.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rocc_core::{RoccHostCcFactory, RoccSwitchCcFactory};
+//! use rocc_sim::prelude::*;
+//!
+//! // Two 40G senders, one 40G bottleneck — RoCC splits it 50/50.
+//! let mut b = TopologyBuilder::new();
+//! let sw = b.add_switch("sw", NodeRole::Switch);
+//! let dst = b.add_host("dst");
+//! b.connect(dst, sw, BitRate::from_gbps(40), SimDuration::from_micros(1));
+//! let mut srcs = vec![];
+//! for i in 0..2 {
+//!     let h = b.add_host(format!("src{i}"));
+//!     b.connect(h, sw, BitRate::from_gbps(40), SimDuration::from_micros(1));
+//!     srcs.push(h);
+//! }
+//! let mut sim = Sim::new(
+//!     b.build(),
+//!     SimConfig::default(),
+//!     Box::new(RoccHostCcFactory::new()),
+//!     Box::new(RoccSwitchCcFactory::new()),
+//! );
+//! for (i, &s) in srcs.iter().enumerate() {
+//!     sim.add_flow(FlowSpec {
+//!         id: FlowId(i as u64),
+//!         src: s,
+//!         dst,
+//!         size: u64::MAX,
+//!         start: SimTime::ZERO,
+//!         offered: Some(BitRate::from_gbps(36)),
+//!     });
+//! }
+//! sim.run_until(SimTime::from_millis(5));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cnp;
+pub mod cp;
+pub mod fixed;
+pub mod flow_table;
+pub mod host_calc;
+pub mod params;
+pub mod rp;
+pub mod switch_cc;
+
+pub use cnp::{Cnp, QueueReport};
+pub use cp::{FairRateCalculator, UpdateKind};
+pub use flow_table::{FlowTable, FlowTablePolicy};
+pub use params::{CpParams, RpParams, DELTA_F, DELTA_Q};
+pub use rp::{RoccHostCc, RoccHostCcFactory};
+pub use host_calc::{HostCalcRoccCc, HostCalcRoccFactory};
+pub use switch_cc::{CpMode, RoccSwitchCc, RoccSwitchCcFactory};

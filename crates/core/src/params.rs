@@ -1,0 +1,210 @@
+//! RoCC protocol parameters (paper §3, Table 2, and §6 "System parameters").
+//!
+//! All congestion-point quantities are kept in *scaled units*: queue sizes
+//! in multiples of ΔQ (600 B) and rates in multiples of ΔF (10 Mb/s). The
+//! paper scales these down so the fair rate fits a small CNP field and Qold
+//! fits narrow SRAM — we reproduce that datapath, including its
+//! quantization, via the fixed-point arithmetic in [`crate::fixed`].
+
+use rocc_sim::prelude::{BitRate, SimDuration};
+
+/// Rate resolution ΔF (paper: 10 Mb/s).
+pub const DELTA_F: BitRate = BitRate::from_mbps(10);
+/// Queue-size resolution ΔQ (paper: 600 B).
+pub const DELTA_Q: u64 = 600;
+
+/// Congestion-point (switch) parameters for one egress port.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpParams {
+    /// Rate resolution ΔF.
+    pub delta_f: BitRate,
+    /// Queue resolution ΔQ in bytes.
+    pub delta_q: u64,
+    /// Fair-rate computation interval T (paper: 40 µs; DPDK testbed 100 µs).
+    pub update_interval: SimDuration,
+    /// Minimum fair rate, in multiples of ΔF (paper: 10 → 100 Mb/s).
+    pub f_min: u32,
+    /// Maximum fair rate, in multiples of ΔF (paper: 4000 @40G, 10000 @100G).
+    pub f_max: u32,
+    /// Reference queue length, in multiples of ΔQ.
+    pub q_ref: u32,
+    /// Queue-growth threshold for MD (F ← F/2), in multiples of ΔQ.
+    pub q_mid: u32,
+    /// Queue-size threshold for MD (F ← Fmin), in multiples of ΔQ.
+    pub q_max: u32,
+    /// Static PI proportional-ish gain α̃ (paper: 0.3 @40G, 0.45 @100G).
+    pub alpha_static: f64,
+    /// Static PI derivative-ish gain β̃ (paper: 1.5 @40G, 2.25 @100G).
+    pub beta_static: f64,
+    /// Enable the six-level quantized auto-tuner (§5.3). Disable to ablate.
+    pub auto_tune: bool,
+    /// Enable the multiplicative-decrease fast path (Alg. 1 lines 2–5).
+    /// Disable to ablate.
+    pub multiplicative_decrease: bool,
+}
+
+impl CpParams {
+    /// Paper parameters for a 40 Gb/s egress link:
+    /// Qref/Qmid/Qmax = 150/300/360 KB, Fmax = 4000·ΔF, α̃=0.3, β̃=1.5.
+    pub fn for_40g() -> Self {
+        CpParams {
+            delta_f: DELTA_F,
+            delta_q: DELTA_Q,
+            update_interval: SimDuration::from_micros(40),
+            f_min: 10,
+            f_max: 4000,
+            q_ref: (150_000 / DELTA_Q) as u32,
+            q_mid: (300_000 / DELTA_Q) as u32,
+            q_max: (360_000 / DELTA_Q) as u32,
+            alpha_static: 0.3,
+            beta_static: 1.5,
+            auto_tune: true,
+            multiplicative_decrease: true,
+        }
+    }
+
+    /// Paper parameters for a 100 Gb/s egress link:
+    /// Qref/Qmid/Qmax = 300/600/660 KB, Fmax = 10000·ΔF, α̃=0.45, β̃=2.25.
+    pub fn for_100g() -> Self {
+        CpParams {
+            delta_f: DELTA_F,
+            delta_q: DELTA_Q,
+            update_interval: SimDuration::from_micros(40),
+            f_min: 10,
+            f_max: 10_000,
+            q_ref: (300_000 / DELTA_Q) as u32,
+            q_mid: (600_000 / DELTA_Q) as u32,
+            q_max: (660_000 / DELTA_Q) as u32,
+            alpha_static: 0.45,
+            beta_static: 2.25,
+            auto_tune: true,
+            multiplicative_decrease: true,
+        }
+    }
+
+    /// Paper parameters for the 10 Gb/s DPDK testbed (§6.2):
+    /// Qref/Qmid/Qmax = 75/150/210 KB, T = 100 µs, Fmax = 1000·ΔF.
+    /// α̃/β̃ scale with link rate like the published 40G/100G pairs.
+    pub fn for_10g_testbed() -> Self {
+        CpParams {
+            delta_f: DELTA_F,
+            delta_q: DELTA_Q,
+            update_interval: SimDuration::from_micros(100),
+            f_min: 10,
+            f_max: 1000,
+            q_ref: (75_000 / DELTA_Q) as u32,
+            q_mid: (150_000 / DELTA_Q) as u32,
+            q_max: (210_000 / DELTA_Q) as u32,
+            alpha_static: 0.15,
+            beta_static: 0.75,
+            auto_tune: true,
+            multiplicative_decrease: true,
+        }
+    }
+
+    /// Select paper parameters by egress link rate (≥100G → 100G profile,
+    /// ≥40G → 40G profile, otherwise the 10G testbed profile).
+    pub fn for_link_rate(rate: BitRate) -> Self {
+        if rate.as_bps() >= BitRate::from_gbps(100).as_bps() {
+            Self::for_100g()
+        } else if rate.as_bps() >= BitRate::from_gbps(40).as_bps() {
+            Self::for_40g()
+        } else {
+            Self::for_10g_testbed()
+        }
+    }
+
+    /// Fmax expressed as a [`BitRate`].
+    pub fn f_max_rate(&self) -> BitRate {
+        BitRate::from_bps(self.delta_f.as_bps() * self.f_max as u64)
+    }
+
+    /// Fmin expressed as a [`BitRate`].
+    pub fn f_min_rate(&self) -> BitRate {
+        BitRate::from_bps(self.delta_f.as_bps() * self.f_min as u64)
+    }
+
+    /// Validate the Qmax > Qmid > Qref ordering required for stability
+    /// (§3.2) and basic sanity; panics with a descriptive message otherwise.
+    pub fn validate(&self) {
+        assert!(self.q_max > self.q_mid, "Qmax must exceed Qmid");
+        assert!(self.q_mid > self.q_ref, "Qmid must exceed Qref");
+        assert!(self.f_max > self.f_min, "Fmax must exceed Fmin");
+        assert!(self.f_min > 0, "Fmin must be positive");
+        assert!(
+            self.alpha_static > 0.0 && self.beta_static > 0.0,
+            "gains must be positive"
+        );
+    }
+}
+
+/// Reaction-point (host) parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RpParams {
+    /// Rate resolution ΔF (must match the CP's).
+    pub delta_f: BitRate,
+    /// Fast-recovery timer: without an accepted CNP for this long, the rate
+    /// limiter doubles its rate (Alg. 2, Timer_Expired). The paper leaves
+    /// the period unspecified; 100 µs = 2.5·T gives headroom over the CNP
+    /// cadence while recovering a 100 Mb/s → 40 Gb/s swing in ~0.9 ms.
+    pub recovery_timer: SimDuration,
+}
+
+impl Default for RpParams {
+    fn default() -> Self {
+        RpParams {
+            delta_f: DELTA_F,
+            recovery_timer: SimDuration::from_micros(100),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values_40g() {
+        let p = CpParams::for_40g();
+        p.validate();
+        assert_eq!(p.q_ref, 250); // 150 KB / 600 B
+        assert_eq!(p.q_mid, 500);
+        assert_eq!(p.q_max, 600);
+        assert_eq!(p.f_max_rate(), BitRate::from_gbps(40));
+        assert_eq!(p.f_min_rate(), BitRate::from_mbps(100));
+    }
+
+    #[test]
+    fn paper_values_100g() {
+        let p = CpParams::for_100g();
+        p.validate();
+        assert_eq!(p.q_ref, 500);
+        assert_eq!(p.q_mid, 1000);
+        assert_eq!(p.q_max, 1100);
+        assert_eq!(p.f_max_rate(), BitRate::from_gbps(100));
+    }
+
+    #[test]
+    fn link_rate_selection() {
+        assert_eq!(
+            CpParams::for_link_rate(BitRate::from_gbps(100)),
+            CpParams::for_100g()
+        );
+        assert_eq!(
+            CpParams::for_link_rate(BitRate::from_gbps(40)),
+            CpParams::for_40g()
+        );
+        assert_eq!(
+            CpParams::for_link_rate(BitRate::from_gbps(10)),
+            CpParams::for_10g_testbed()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "Qmid must exceed Qref")]
+    fn validate_rejects_bad_ordering() {
+        let mut p = CpParams::for_40g();
+        p.q_mid = p.q_ref;
+        p.validate();
+    }
+}

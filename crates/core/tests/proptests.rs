@@ -1,0 +1,175 @@
+//! Property-based tests for the RoCC algorithms.
+
+use proptest::prelude::*;
+use rocc_core::cnp::Cnp;
+use rocc_core::fixed::Fx;
+use rocc_core::{CpParams, FairRateCalculator, RoccHostCc, RpParams};
+use rocc_sim::cc::{FeedbackEvent, HostCc, HostCcCtx};
+use rocc_sim::prelude::*;
+
+fn ctx() -> HostCcCtx {
+    HostCcCtx {
+        now: SimTime::ZERO,
+        link_rate: BitRate::from_gbps(40),
+        set_timers: Vec::new(),
+        cancel_timers: Vec::new(),
+    }
+}
+
+proptest! {
+    /// Alg. 1 invariant: whatever queue trajectory the CP observes, the
+    /// fair rate stays within [Fmin, Fmax].
+    #[test]
+    fn fair_rate_always_bounded(queues in proptest::collection::vec(0u64..50_000_000, 1..200)) {
+        let p = CpParams::for_40g();
+        let mut c = FairRateCalculator::new(p);
+        for q in queues {
+            let (f, _) = c.update(q);
+            prop_assert!(f >= p.f_min && f <= p.f_max, "F = {f}");
+            prop_assert_eq!(f, c.fair_rate_units());
+        }
+    }
+
+    /// The calculator is a pure deterministic state machine: identical
+    /// queue sequences give identical rate sequences.
+    #[test]
+    fn fair_rate_deterministic(queues in proptest::collection::vec(0u64..10_000_000, 1..100)) {
+        let run = || {
+            let mut c = FairRateCalculator::new(CpParams::for_100g());
+            queues.iter().map(|&q| c.update(q).0).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// A persistently empty queue always drives F back to Fmax, from any
+    /// reachable state (eff: no lingering throttle without congestion).
+    #[test]
+    fn empty_queue_recovers_to_fmax(
+        queues in proptest::collection::vec(0u64..10_000_000, 1..50),
+    ) {
+        let p = CpParams::for_40g();
+        let mut c = FairRateCalculator::new(p);
+        for q in queues {
+            c.update(q);
+        }
+        // PI increase from the floor: worst case needs many rounds (gains
+        // shrink by 32 at the bottom of the range).
+        let mut f = 0;
+        for _ in 0..100_000 {
+            f = c.update(0).0;
+            if f == p.f_max {
+                break;
+            }
+        }
+        prop_assert_eq!(f, p.f_max);
+    }
+
+    /// CNP wire format: round-trips arbitrary field values exactly.
+    #[test]
+    fn cnp_round_trip(units in 0u32..u32::MAX, node in 0usize..u32::MAX as usize,
+                      port in 0usize..u16::MAX as usize, flow in 0u64..u64::MAX) {
+        let c = Cnp {
+            fair_rate_units: units,
+            cp: CpId { node: NodeId(node), port: PortId(port) },
+            flow: FlowId(flow),
+        };
+        prop_assert_eq!(Cnp::decode(&c.to_bytes()), Ok(c));
+    }
+
+    /// Fixed-point: shifts by k are exact division by 2^k for non-negative
+    /// values, and add/sub round-trip.
+    #[test]
+    fn fixed_point_shift_exact(v in 0i64..1 << 40, k in 0u32..16) {
+        let x = Fx::from_int(v);
+        prop_assert_eq!(x.shr(k).raw(), x.raw() >> k);
+        prop_assert_eq!(x.shr(k).shl(k).raw(), (x.raw() >> k) << k);
+    }
+
+    #[test]
+    fn fixed_point_add_sub_roundtrip(a in -(1i64 << 40)..1 << 40, b in -(1i64 << 40)..1 << 40) {
+        let x = Fx::from_int(a);
+        let y = Fx::from_int(b);
+        prop_assert_eq!(x + y - y, x);
+    }
+
+    /// Alg. 2 invariants under arbitrary CNP sequences: the published rate
+    /// never exceeds line rate, never drops below the smallest rate ever
+    /// received, and same-CP feedback is always accepted.
+    #[test]
+    fn rp_rate_bounded_by_feedback(
+        cnps in proptest::collection::vec((1u32..5000, 0usize..4), 1..60),
+    ) {
+        let line = BitRate::from_gbps(40);
+        let mut rp = RoccHostCc::new(RpParams::default(), line);
+        let mut min_seen = u32::MAX;
+        for (units, cp_idx) in cnps {
+            min_seen = min_seen.min(units);
+            let mut c = ctx();
+            rp.on_feedback(&mut c, FeedbackEvent::RoccCnp {
+                fair_rate_units: units,
+                cp: CpId { node: NodeId(cp_idx), port: PortId(0) },
+            });
+            let r = rp.decision().rate;
+            prop_assert!(r <= line);
+            // The rate limiter never goes below the smallest rate any CP
+            // ever demanded (it has no reason to).
+            let floor = BitRate::from_mbps(10).scale(min_seen as f64);
+            prop_assert!(r >= floor.min(line), "rate {r} below floor {floor}");
+        }
+    }
+
+    /// Fast recovery from an arbitrary accepted rate always uninstalls in
+    /// finitely many timer expirations, and the rate is monotone
+    /// non-decreasing along the way.
+    #[test]
+    fn rp_recovery_terminates(units in 1u32..4000) {
+        let line = BitRate::from_gbps(40);
+        let mut rp = RoccHostCc::new(RpParams::default(), line);
+        let mut c = ctx();
+        rp.on_feedback(&mut c, FeedbackEvent::RoccCnp {
+            fair_rate_units: units,
+            cp: CpId { node: NodeId(0), port: PortId(0) },
+        });
+        let mut prev = rp.decision().rate;
+        for _ in 0..64 {
+            if !rp.is_installed() {
+                break;
+            }
+            let mut c = ctx();
+            rp.on_timer(&mut c, rocc_core::rp::RECOVERY_TOKEN);
+            let cur = rp.decision().rate;
+            prop_assert!(cur >= prev, "recovery must not decrease: {prev} -> {cur}");
+            prev = cur;
+        }
+        prop_assert!(!rp.is_installed(), "recovery never uninstalled from {units} units");
+        prop_assert_eq!(rp.decision().rate, line);
+    }
+}
+
+proptest! {
+    /// Fixed-point vs floating-point datapath (DESIGN.md ablation 5): over
+    /// arbitrary queue trajectories the Q47.16 datapath tracks the f64
+    /// reference to within a small relative error — the hardware
+    /// quantization the paper's "fixed point precision" note refers to is
+    /// behaviourally negligible.
+    #[test]
+    fn fixed_point_tracks_float_reference(
+        queues in proptest::collection::vec(0u64..2_000_000, 1..150),
+    ) {
+        use rocc_core::cp::FairRateCalculatorF64;
+        let p = CpParams::for_40g();
+        let mut fx = FairRateCalculator::new(p);
+        let mut fl = FairRateCalculatorF64::new(p);
+        for q in queues {
+            let (a, _) = fx.update(q);
+            let b = fl.update(q);
+            let diff = (a as f64 - b as f64).abs();
+            // Within 2% of Fmax or 3 units, whichever is larger, at every
+            // step (errors do not accumulate thanks to the shared clamps).
+            prop_assert!(
+                diff <= (0.02 * p.f_max as f64).max(3.0),
+                "fixed {a} vs float {b} at q={q}"
+            );
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! Ablation studies of RoCC's design choices (DESIGN.md §5).
+//!
+//! Each ablation runs the §6.1 dumbbell under a modified RoCC and reports
+//! the metrics the design choice is supposed to move: queue settle time
+//! and steadiness, fairness across flows, and feedback-message cost.
+
+use crate::micro::{settle_time, tail_stats};
+use crate::scenarios;
+use rocc_core::{CpParams, FlowTablePolicy, RoccHostCcFactory, RoccSwitchCcFactory};
+use rocc_sim::prelude::*;
+use rocc_stats::jain_fairness;
+
+/// Outcome of one ablation run.
+#[derive(Debug, Clone)]
+pub struct AblationResult {
+    /// Human-readable variant label.
+    pub variant: String,
+    /// Queue settle time to Qref ± 50% (None = never settled).
+    pub settle: Option<SimTime>,
+    /// Queue mean over the tail window (bytes).
+    pub queue_mean: f64,
+    /// Queue standard deviation over the tail window (bytes).
+    pub queue_sd: f64,
+    /// Jain fairness index over per-flow goodputs (1.0 = perfect).
+    pub fairness: f64,
+    /// Switch-emitted feedback packets (CNP cost).
+    pub cnps: u64,
+    /// Mean per-flow goodput (bits/s).
+    pub mean_goodput: f64,
+}
+
+/// Run N flows over a 40G dumbbell with the given RoCC switch factory and
+/// simulator config, and collect the ablation metrics.
+pub fn run_variant(
+    variant: impl Into<String>,
+    n: usize,
+    factory: RoccSwitchCcFactory,
+    cfg: SimConfig,
+    horizon: SimTime,
+) -> AblationResult {
+    let d = scenarios::dumbbell(n, BitRate::from_gbps(40));
+    let mut sim = Sim::new(
+        d.topo,
+        cfg,
+        Box::new(RoccHostCcFactory::new()),
+        Box::new(factory),
+    );
+    sim.trace.sample_period = Some(SimDuration::from_micros(100));
+    sim.trace.watch_queue(d.switch, d.bottleneck_port);
+    let offered = BitRate::from_gbps(40).scale(0.9);
+    for (i, &s) in d.senders.iter().enumerate() {
+        sim.add_flow(FlowSpec {
+            id: FlowId(i as u64),
+            src: s,
+            dst: d.receiver,
+            size: u64::MAX,
+            start: SimTime::ZERO,
+            offered: Some(offered),
+        });
+    }
+    let measure_from = SimTime::from_nanos(horizon.as_nanos() / 2);
+    sim.run_until(measure_from);
+    let base: Vec<u64> = (0..n)
+        .map(|i| sim.trace.delivered_bytes(FlowId(i as u64)))
+        .collect();
+    sim.run_until(horizon);
+    let w = horizon.saturating_since(measure_from).as_secs_f64();
+    let goodputs: Vec<f64> = (0..n)
+        .map(|i| (sim.trace.delivered_bytes(FlowId(i as u64)) - base[i]) as f64 * 8.0 / w)
+        .collect();
+    let (queue_mean, queue_sd) = tail_stats(&sim.trace.queue_series[0], measure_from);
+    AblationResult {
+        variant: variant.into(),
+        settle: settle_time(&sim.trace.queue_series[0], 150_000.0, 0.5),
+        queue_mean,
+        queue_sd,
+        fairness: jain_fairness(&goodputs).unwrap_or(0.0),
+        cnps: sim.trace.ctrl_emitted,
+        mean_goodput: goodputs.iter().sum::<f64>() / n as f64,
+    }
+}
+
+fn default_horizon() -> SimTime {
+    SimTime::from_millis(16)
+}
+
+/// Ablation 1: six-level gain auto-tuning on vs off (§5.3). With many
+/// flows, fixed aggressive gains destabilize the queue.
+pub fn ablate_auto_tune(n: usize) -> Vec<AblationResult> {
+    let mut fixed = CpParams::for_40g();
+    fixed.auto_tune = false;
+    vec![
+        run_variant(
+            "auto-tune on",
+            n,
+            RoccSwitchCcFactory::new(),
+            SimConfig::default(),
+            default_horizon(),
+        ),
+        run_variant(
+            "auto-tune off",
+            n,
+            RoccSwitchCcFactory::new().with_params(fixed),
+            SimConfig::default(),
+            default_horizon(),
+        ),
+    ]
+}
+
+/// Burst-join variant: `base` flows run to convergence, then `burst` new
+/// line-rate flows join at 8 ms. Reports the post-join queue peak — the
+/// quantity MD exists to contain (Alg. 1 lines 2–5). Returns
+/// (variant result, post-join peak queue bytes).
+pub fn run_burst_variant(
+    variant: impl Into<String>,
+    base: usize,
+    burst: usize,
+    burst_offered: Option<BitRate>,
+    factory: RoccSwitchCcFactory,
+) -> (AblationResult, u64) {
+    let d = scenarios::dumbbell(base + burst, BitRate::from_gbps(40));
+    let mut sim = Sim::new(
+        d.topo,
+        SimConfig::default(),
+        Box::new(RoccHostCcFactory::new()),
+        Box::new(factory),
+    );
+    sim.trace.sample_period = Some(SimDuration::from_micros(100));
+    sim.trace.watch_queue(d.switch, d.bottleneck_port);
+    for i in 0..base + burst {
+        sim.add_flow(FlowSpec {
+            id: FlowId(i as u64),
+            src: d.senders[i],
+            dst: d.receiver,
+            size: u64::MAX,
+            start: if i < base {
+                SimTime::ZERO
+            } else {
+                SimTime::from_millis(8)
+            },
+            offered: if i < base { None } else { burst_offered },
+        });
+    }
+    // Converge with the base set, then reset the peak tracker via a
+    // separate measurement: run to 8 ms, note the peak, continue, and
+    // report the increment attributable to the join.
+    sim.run_until(SimTime::from_millis(8));
+    let peak_before = sim.trace.queue_peak[0];
+    sim.run_until(SimTime::from_millis(14));
+    let peak_after = sim.trace.queue_peak[0];
+    let (queue_mean, queue_sd) = tail_stats(
+        &sim.trace.queue_series[0],
+        SimTime::from_millis(11),
+    );
+    let res = AblationResult {
+        variant: variant.into(),
+        settle: settle_time(&sim.trace.queue_series[0], 150_000.0, 0.5),
+        queue_mean,
+        queue_sd,
+        fairness: 1.0,
+        cnps: sim.trace.ctrl_emitted,
+        mean_goodput: 0.0,
+    };
+    (res, peak_after.max(peak_before))
+}
+
+/// Ablation 2: multiplicative decrease on vs off (Alg. 1 lines 2–5) under
+/// a burst join. Note a reproduction finding: with the paper's static
+/// gains, the PI's β-term alone already slams F to the floor on large
+/// bursts (the paper itself calls the MD parameters "not
+/// reliability-critical"); MD's distinct value shows at moderate bursts
+/// and low-gain (auto-tuned-down) operating points.
+pub fn ablate_md(n: usize) -> Vec<AblationResult> {
+    let mut no_md = CpParams::for_40g();
+    no_md.multiplicative_decrease = false;
+    // A moderate burst: joiners offer ~1.5 Gb/s over the residual
+    // capacity per tick, putting the queue growth right in the band where
+    // MD's halving outpaces the PI's proportional response.
+    let joiners = n.max(4);
+    let cap = Some(BitRate::from_gbps(15));
+    let (mut on, peak_on) = run_burst_variant("MD on", 2, joiners, cap, RoccSwitchCcFactory::new());
+    let (mut off, peak_off) = run_burst_variant(
+        "MD off",
+        2,
+        joiners,
+        cap,
+        RoccSwitchCcFactory::new().with_params(no_md),
+    );
+    on.variant = format!("MD on (join peak {} KB)", peak_on / 1000);
+    off.variant = format!("MD off (join peak {} KB)", peak_off / 1000);
+    vec![on, off]
+}
+
+/// Ablation 3: flow-table policy (§3.4) — in-queue vs bounded/age vs
+/// sampling. Selective feedback lowers CNP cost at some stability cost.
+pub fn ablate_flow_table(n: usize) -> Vec<AblationResult> {
+    let policies = [
+        ("table: in-queue", FlowTablePolicy::InQueue),
+        (
+            "table: bounded+age",
+            FlowTablePolicy::BoundedAge {
+                capacity: 400,
+                idle_timeout_ns: 200_000,
+            },
+        ),
+        (
+            "table: sampling 25%",
+            FlowTablePolicy::Sampling {
+                capacity: 128,
+                sample_prob: 0.25,
+            },
+        ),
+    ];
+    policies
+        .into_iter()
+        .map(|(name, p)| {
+            run_variant(
+                name,
+                n,
+                RoccSwitchCcFactory::new().with_policy(p),
+                SimConfig::default(),
+                default_horizon(),
+            )
+        })
+        .collect()
+}
+
+/// Ablation 4: CNP prioritization (§3.3) on vs off. The priority queue
+/// only matters when feedback shares a congested wire with data, so this
+/// scenario adds reverse bulk flows (receiver → senders) that CNPs must
+/// cross on their way back to the sources.
+pub fn ablate_cnp_priority(n: usize) -> Vec<AblationResult> {
+    let run = |variant: &str, cfg: SimConfig| -> AblationResult {
+        let d = scenarios::dumbbell(n, BitRate::from_gbps(40));
+        let mut sim = Sim::new(
+            d.topo,
+            cfg,
+            Box::new(RoccHostCcFactory::new()),
+            Box::new(RoccSwitchCcFactory::new()),
+        );
+        sim.trace.sample_period = Some(SimDuration::from_micros(100));
+        sim.trace.watch_queue(d.switch, d.bottleneck_port);
+        let offered = BitRate::from_gbps(40).scale(0.9);
+        for (i, &s) in d.senders.iter().enumerate() {
+            sim.add_flow(FlowSpec {
+                id: FlowId(i as u64),
+                src: s,
+                dst: d.receiver,
+                size: u64::MAX,
+                start: SimTime::ZERO,
+                offered: Some(offered),
+            });
+        }
+        // Reverse bulk traffic: the receiver floods every sender's
+        // downlink, so CNPs queue behind data unless prioritized.
+        for (i, &s) in d.senders.iter().enumerate() {
+            sim.add_flow(FlowSpec {
+                id: FlowId((n + i) as u64),
+                src: d.receiver,
+                dst: s,
+                size: u64::MAX,
+                start: SimTime::ZERO,
+                offered: Some(BitRate::from_gbps(40).scale(0.9 / n as f64)),
+            });
+        }
+        let horizon = default_horizon();
+        let measure_from = SimTime::from_nanos(horizon.as_nanos() / 2);
+        sim.run_until(measure_from);
+        let base: Vec<u64> = (0..n)
+            .map(|i| sim.trace.delivered_bytes(FlowId(i as u64)))
+            .collect();
+        sim.run_until(horizon);
+        let w = horizon.saturating_since(measure_from).as_secs_f64();
+        let goodputs: Vec<f64> = (0..n)
+            .map(|i| {
+                (sim.trace.delivered_bytes(FlowId(i as u64)) - base[i]) as f64 * 8.0 / w
+            })
+            .collect();
+        let (queue_mean, queue_sd) = tail_stats(&sim.trace.queue_series[0], measure_from);
+        AblationResult {
+            variant: variant.into(),
+            settle: settle_time(&sim.trace.queue_series[0], 150_000.0, 0.5),
+            queue_mean,
+            queue_sd,
+            fairness: jain_fairness(&goodputs).unwrap_or(0.0),
+            cnps: sim.trace.ctrl_emitted,
+            mean_goodput: goodputs.iter().sum::<f64>() / n as f64,
+        }
+    };
+    let mut no_prio = SimConfig::default();
+    no_prio.prioritize_control = false;
+    vec![
+        run("CNP priority on", SimConfig::default()),
+        run("CNP priority off", no_prio),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_tune_stabilizes_large_n() {
+        let r = ablate_auto_tune(64);
+        let on = &r[0];
+        let off = &r[1];
+        assert!(on.fairness > 0.98, "auto-tuned must be fair: {}", on.fairness);
+        // Without auto-tuning the fixed 40G gains are far too aggressive
+        // for N=64: the queue never stabilizes or oscillates much harder.
+        assert!(
+            off.queue_sd > 2.0 * on.queue_sd || off.settle.is_none(),
+            "ablation must show instability: sd {} vs {}",
+            off.queue_sd,
+            on.queue_sd
+        );
+    }
+
+    #[test]
+    fn all_tables_reach_high_fairness() {
+        for r in ablate_flow_table(10) {
+            assert!(
+                r.fairness > 0.95,
+                "{}: fairness {} too low",
+                r.variant,
+                r.fairness
+            );
+        }
+    }
+
+    #[test]
+    fn md_contains_moderate_burst_overshoot() {
+        let no_md = {
+            let mut p = CpParams::for_40g();
+            p.multiplicative_decrease = false;
+            p
+        };
+        let (_, peak_on) =
+            run_burst_variant("on", 2, 10, Some(BitRate::from_gbps(15)), RoccSwitchCcFactory::new());
+        let (_, peak_off) = run_burst_variant(
+            "off",
+            2,
+            10,
+            Some(BitRate::from_gbps(15)),
+            RoccSwitchCcFactory::new().with_params(no_md),
+        );
+        assert!(
+            peak_on < peak_off,
+            "MD must reduce the join overshoot: {peak_on} vs {peak_off}"
+        );
+    }
+
+    #[test]
+    fn cnp_priority_ablation_runs_with_reverse_traffic() {
+        let r = ablate_cnp_priority(6);
+        assert_eq!(r.len(), 2);
+        for v in &r {
+            assert!(v.fairness > 0.9, "{}: fairness {}", v.variant, v.fairness);
+        }
+    }
+}

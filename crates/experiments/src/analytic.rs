@@ -1,0 +1,173 @@
+//! Analytic experiments: the §5 stability analysis (Figs. 5, 6, 7).
+
+use rocc_control::{analyze, bode_sweep, fig7_gain_pairs, BodePoint, LoopModel};
+
+/// One Fig. 5 surface cell.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig5Point {
+    /// PI gain α.
+    pub alpha: f64,
+    /// PI gain β.
+    pub beta: f64,
+    /// Phase margin (degrees); > 0 means stable.
+    pub phase_margin_deg: f64,
+}
+
+/// Fig. 5: phase margin as a function of α and β at T = 40 µs, N = 2.
+pub fn fig5(grid: usize) -> Vec<Fig5Point> {
+    assert!(grid >= 2);
+    let log_space = |lo: f64, hi: f64, n: usize| -> Vec<f64> {
+        (0..n)
+            .map(|i| lo * (hi / lo).powf(i as f64 / (n - 1) as f64))
+            .collect()
+    };
+    let alphas = log_space(0.003, 1.0, grid);
+    let betas = log_space(0.03, 10.0, grid);
+    let mut out = Vec::with_capacity(grid * grid);
+    for &a in &alphas {
+        for &b in &betas {
+            let m = LoopModel::paper(a, b, 2.0);
+            out.push(Fig5Point {
+                alpha: a,
+                beta: b,
+                phase_margin_deg: analyze(&m).phase_margin_deg,
+            });
+        }
+    }
+    out
+}
+
+/// Fig. 6 output: Bode traces for two flow counts at fixed gains, plus the
+/// resulting margins.
+#[derive(Debug, Clone)]
+pub struct Fig6Result {
+    /// Gains used (the pair with ≈50° margin at N = 2, as in the paper).
+    pub alpha: f64,
+    /// β of the pair.
+    pub beta: f64,
+    /// Bode trace at N = 2.
+    pub n2: Vec<BodePoint>,
+    /// Bode trace at N = 10.
+    pub n10: Vec<BodePoint>,
+    /// Phase margin at N = 2 (≈ +50° in the paper).
+    pub pm_n2: f64,
+    /// Phase margin at N = 10 (≈ −50° in the paper).
+    pub pm_n10: f64,
+}
+
+/// Fig. 6: how N shifts the 0 dB crossing and collapses the margin.
+pub fn fig6() -> Fig6Result {
+    let (alpha, beta) = (0.3, 3.0);
+    let m2 = LoopModel::paper(alpha, beta, 2.0);
+    let m10 = LoopModel::paper(alpha, beta, 10.0);
+    Fig6Result {
+        alpha,
+        beta,
+        n2: bode_sweep(&m2, 100.0, 1e6, 120),
+        n10: bode_sweep(&m10, 100.0, 1e6, 120),
+        pm_n2: analyze(&m2).phase_margin_deg,
+        pm_n10: analyze(&m10).phase_margin_deg,
+    }
+}
+
+/// One Fig. 7 series point.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig7Point {
+    /// Flow count N.
+    pub n: f64,
+    /// Phase margin (degrees) — Fig. 7a.
+    pub phase_margin_deg: f64,
+    /// Loop bandwidth (Hz) — Fig. 7b.
+    pub bandwidth_hz: f64,
+}
+
+/// One Fig. 7 series: a gain pair swept over N.
+#[derive(Debug, Clone)]
+pub struct Fig7Series {
+    /// PI gain α.
+    pub alpha: f64,
+    /// PI gain β.
+    pub beta: f64,
+    /// Points over N ∈ [2, 128].
+    pub points: Vec<Fig7Point>,
+}
+
+/// Fig. 7a/7b: margin and loop bandwidth vs N for the six α:β pairs
+/// obtained by halving 0.3 : 3.
+pub fn fig7() -> Vec<Fig7Series> {
+    let ns: Vec<f64> = (1..=7).map(|k| 2f64.powi(k)).collect(); // 2..128
+    fig7_gain_pairs()
+        .into_iter()
+        .map(|(alpha, beta)| {
+            let points = ns
+                .iter()
+                .map(|&n| {
+                    let r = analyze(&LoopModel::paper(alpha, beta, n));
+                    Fig7Point {
+                        n,
+                        phase_margin_deg: r.phase_margin_deg,
+                        bandwidth_hz: r.bandwidth_hz(),
+                    }
+                })
+                .collect();
+            Fig7Series {
+                alpha,
+                beta,
+                points,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_surface_contains_stable_and_unstable_regions() {
+        let s = fig5(12);
+        assert_eq!(s.len(), 144);
+        assert!(s.iter().any(|p| p.phase_margin_deg > 30.0));
+        assert!(s.iter().any(|p| p.phase_margin_deg < 0.0));
+    }
+
+    #[test]
+    fn fig6_margin_flip_matches_paper() {
+        let r = fig6();
+        // Paper: ≈ +50° at N=2, ≈ −50° at N=10 for the same gains.
+        assert!(
+            (r.pm_n2 - 50.0).abs() < 12.0,
+            "N=2 margin {:.1}° not ≈ 50°",
+            r.pm_n2
+        );
+        assert!(
+            r.pm_n10 < -25.0,
+            "N=10 margin {:.1}° must be deeply negative",
+            r.pm_n10
+        );
+    }
+
+    #[test]
+    fn fig7a_small_gains_stay_stable_for_all_n() {
+        let series = fig7();
+        let last = series.last().unwrap(); // α=0.3/32 ≈ 0.0094
+        assert!(
+            last.points.iter().all(|p| p.phase_margin_deg > 20.0),
+            "smallest pair must be stable everywhere"
+        );
+        // The largest pair loses stability at high N.
+        let first = &series[0];
+        assert!(first.points.last().unwrap().phase_margin_deg < 0.0);
+    }
+
+    #[test]
+    fn fig7b_smaller_gains_mean_lower_bandwidth_at_small_n() {
+        let series = fig7();
+        let bw_big = series[0].points[0].bandwidth_hz; // (0.3, 3) at N=2
+        let bw_small = series[5].points[0].bandwidth_hz; // (0.0094, 0.094) at N=2
+        assert!(
+            bw_small < bw_big / 4.0,
+            "loop slows as gains shrink: {bw_big:.0} vs {bw_small:.0}"
+        );
+    }
+}

@@ -1,0 +1,475 @@
+//! `repro` — regenerate every table and figure of the RoCC paper.
+//!
+//! ```text
+//! repro <experiment> [quick|paper]
+//! repro all [quick|paper]
+//! ```
+//!
+//! Experiments: fig5 fig6 fig7 fig8 fig9 fig11 fig12a fig12b fig13 fig14
+//! fig15 fig16 table3 fig17 fig18 fig19 fig20 table1
+
+use rocc_experiments::fct::{
+    fct_comparison, fold_increase, table3, BufferRegime, SchemeFcts, Workload,
+};
+use rocc_experiments::{analytic, micro, table1, Scale};
+use rocc_sim::prelude::Sample;
+
+fn human_bytes(b: f64) -> String {
+    if b >= 1e6 {
+        format!("{:.1}MB", b / 1e6)
+    } else if b >= 1e3 {
+        format!("{:.1}KB", b / 1e3)
+    } else {
+        format!("{b:.0}B")
+    }
+}
+
+fn size_label(b: u64) -> String {
+    if b >= 1_000_000 {
+        format!("{}M", b / 1_000_000)
+    } else if b >= 1_000 {
+        format!("{}K", b / 1_000)
+    } else {
+        format!("{b}")
+    }
+}
+
+/// Print a decimated (time, value) series as rows.
+fn print_series(label: &str, series: &[Sample], every: usize, unit: &str, scale: f64) {
+    println!("# {label}");
+    for s in series.iter().step_by(every.max(1)) {
+        println!("  t={:8.2}ms  {:10.2} {unit}", s.t.as_millis_f64(), s.v / scale);
+    }
+}
+
+fn run_fig5() {
+    println!("== Fig. 5: phase margin vs (alpha, beta), T=40us, N=2 ==");
+    let pts = analytic::fig5(10);
+    println!("{:>10} {:>10} {:>12}", "alpha", "beta", "margin(deg)");
+    for p in pts {
+        println!(
+            "{:>10.4} {:>10.4} {:>12.1}{}",
+            p.alpha,
+            p.beta,
+            p.phase_margin_deg,
+            if p.phase_margin_deg > 0.0 { "  stable" } else { "  UNSTABLE" }
+        );
+    }
+}
+
+fn run_fig6() {
+    println!("== Fig. 6: stability margin for N=2 vs N=10 (alpha=0.3, beta=3) ==");
+    let r = analytic::fig6();
+    println!("phase margin N=2 : {:+.1} deg", r.pm_n2);
+    println!("phase margin N=10: {:+.1} deg", r.pm_n10);
+    println!(
+        "{:>12} {:>10} {:>10} {:>10} {:>10}",
+        "w(rad/s)", "gain2(dB)", "ph2(deg)", "gain10", "ph10"
+    );
+    for (a, b) in r.n2.iter().zip(&r.n10).step_by(12) {
+        println!(
+            "{:>12.0} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            a.w, a.gain_db, a.phase_deg, b.gain_db, b.phase_deg
+        );
+    }
+}
+
+fn run_fig7() {
+    println!("== Fig. 7: margin (a) and loop bandwidth (b) vs N, six alpha:beta pairs ==");
+    let series = analytic::fig7();
+    print!("{:>18}", "alpha:beta");
+    for p in &series[0].points {
+        print!(" {:>9}", format!("N={}", p.n));
+    }
+    println!();
+    for s in &series {
+        print!("{:>18}", format!("{:.4}:{:.4}", s.alpha, s.beta));
+        for p in &s.points {
+            print!(" {:>9.1}", p.phase_margin_deg);
+        }
+        println!("   (margin deg)");
+        print!("{:>18}", "");
+        for p in &s.points {
+            print!(" {:>9.0}", p.bandwidth_hz);
+        }
+        println!("   (bandwidth Hz)");
+    }
+}
+
+fn run_fig8(scale: Scale) {
+    println!("== Fig. 8: fairness & stability, N in {{2,10,100}}, B in {{40,100}}G, 90% load ==");
+    for c in micro::fig8(scale) {
+        let mean_gbps: f64 =
+            c.per_flow_goodput.iter().sum::<f64>() / c.per_flow_goodput.len() as f64 / 1e9;
+        let ideal = c.gbps as f64 / c.n as f64 * (1000.0 / 1048.0);
+        println!(
+            "B={:>3}G N={:>3}: queue {:>8} +- {:>8}, per-flow {:>6.2} Gb/s (ideal {:>6.2}), settle {}",
+            c.gbps,
+            c.n,
+            human_bytes(c.queue_mean),
+            human_bytes(c.queue_sd),
+            mean_gbps,
+            ideal,
+            c.settle.map_or("never".into(), |t| format!("{t}")),
+        );
+    }
+}
+
+fn run_fig9(scale: Scale) {
+    println!("== Fig. 9: convergence under exponential load swing 3 -> 96 -> 3 flows ==");
+    let r = micro::fig9(scale);
+    println!("# active-flow steps:");
+    for (t, n) in &r.steps {
+        println!("  t={:6.1}ms  N={n}", t.as_millis_f64());
+    }
+    print_series("queue (KB)", &r.queue, 40, "KB", 1e3);
+    print_series("flow-0 RP rate (Gb/s)", &r.rate, 40, "Gb/s", 1e9);
+}
+
+fn run_fig11(scale: Scale) {
+    println!("== Fig. 11: RoCC vs TIMELY/QCN/DCQCN/DCQCN+PI/HPCC (N=10, 40G) ==");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>12} {:>8}",
+        "scheme", "rate avg", "rate min", "rate max", "queue avg", "util"
+    );
+    for row in micro::fig11(scale) {
+        let n = row.per_flow_rate.len() as f64;
+        let avg = row.per_flow_rate.iter().sum::<f64>() / n / 1e9;
+        let min = row.per_flow_rate.iter().cloned().fold(f64::MAX, f64::min) / 1e9;
+        let max = row.per_flow_rate.iter().cloned().fold(f64::MIN, f64::max) / 1e9;
+        println!(
+            "{:>10} {:>9.2}G/s {:>9.2}G/s {:>9.2}G/s {:>12} {:>7.1}%",
+            row.scheme.name(),
+            avg,
+            min,
+            max,
+            human_bytes(row.queue_mean),
+            row.util_mean * 100.0
+        );
+    }
+}
+
+fn run_fig12a(scale: Scale) {
+    println!("== Fig. 12a: multi-bottleneck fairness (expected: D0,D5 = 5 Gb/s; D1-D4 = 8.75) ==");
+    println!(
+        "{:>10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "scheme", "D0", "D1", "D2", "D3", "D4", "D5"
+    );
+    for row in micro::fig12a(scale) {
+        print!("{:>10}", row.scheme.name());
+        for t in &row.throughput {
+            print!(" {:>8.2}", t / 1e9);
+        }
+        println!("   (Gb/s)");
+    }
+}
+
+fn run_fig12b(scale: Scale) {
+    println!("== Fig. 12b: asymmetric-topology fairness (expected: all 14.29 Gb/s) ==");
+    println!(
+        "{:>10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "scheme", "D0", "D1", "D2", "D3", "D4", "D5", "D6"
+    );
+    for row in micro::fig12b(scale) {
+        print!("{:>10}", row.scheme.name());
+        for t in &row.throughput {
+            print!(" {:>8.2}", t / 1e9);
+        }
+        println!("   (Gb/s)");
+    }
+}
+
+fn run_fig13(scale: Scale) {
+    println!("== Fig. 13: DPDK-testbed profile vs clean simulation (3x10G sources) ==");
+    for r in micro::fig13(scale) {
+        let rates: Vec<String> = r.goodput.iter().map(|g| format!("{:.2}", g / 1e9)).collect();
+        println!(
+            "{:>8}-{:<4} queue mean {:>8}  per-flow Gb/s [{}]",
+            r.profile,
+            r.scenario,
+            human_bytes(r.queue_mean),
+            rates.join(", ")
+        );
+    }
+    println!("(expected: queue stabilizes at 75 KB in all four; uni -> ~3.2 Gb/s each; mix -> ~6/3/1 Gb/s)");
+}
+
+fn print_fct_table(results: &[SchemeFcts], which: &str) {
+    let bins: Vec<u64> = results[0].bins.iter().map(|b| b.bin).collect();
+    print!("{:>10}", "scheme");
+    for b in &bins {
+        print!(" {:>9}", size_label(*b));
+    }
+    println!();
+    for r in results {
+        print!("{:>10}", r.scheme.name());
+        for b in &r.bins {
+            let stat = match which {
+                "avg" => b.avg,
+                "p90" => b.p90,
+                _ => b.p99,
+            };
+            if b.count == 0 {
+                print!(" {:>9}", "-");
+            } else {
+                print!(" {:>9.3}", stat.mean * 1e3);
+            }
+        }
+        println!("   (FCT ms, {which})");
+    }
+}
+
+fn run_fct(scale: Scale, which: &str, fig: &str) {
+    println!("== {fig}: {which} FCT by flow size, 70% load, DCQCN vs HPCC vs RoCC ==");
+    for wl in [Workload::WebSearch, Workload::FbHadoop] {
+        println!("-- {} --", wl.name());
+        let res = fct_comparison(wl, 0.7, scale, BufferRegime::Pfc);
+        print_fct_table(&res, which);
+    }
+}
+
+/// One pass over both workloads printing Figs. 14/15/16 + Table 3 + the
+/// Fig. 17 side data — the efficient path for paper-scale runs.
+fn run_fct_all(scale: Scale) {
+    println!("== Figs. 14-16 + Table 3 + Fig. 17, one pass, 70% load ==");
+    for wl in [Workload::WebSearch, Workload::FbHadoop] {
+        println!("-- {} --", wl.name());
+        let res = fct_comparison(wl, 0.7, scale, BufferRegime::Pfc);
+        for which in ["avg", "p90", "p99"] {
+            print_fct_table(&res, which);
+        }
+        if wl == Workload::FbHadoop {
+            println!("Table 3 (flow-level rate allocation):");
+            for row in table3(&res) {
+                println!(
+                    "  {:>8}: {:>10.2} +- {:>10.2} Mb/s",
+                    row.scheme.name(),
+                    row.mean_bps / 1e6,
+                    row.std_bps / 1e6
+                );
+            }
+        } else {
+            println!("Fig. 17 (queues KB core/ingress/egress, PFC counts):");
+            for r in &res {
+                println!(
+                    "  {:>8}: q {:>8.1}/{:>8.1}/{:>8.1}  pfc {:>6.1}/{:>6.1}/{:>6.1}",
+                    r.scheme.name(),
+                    r.queues[0] / 1e3,
+                    r.queues[1] / 1e3,
+                    r.queues[2] / 1e3,
+                    r.pfc[0],
+                    r.pfc[1],
+                    r.pfc[2]
+                );
+            }
+        }
+    }
+}
+
+fn run_table3(scale: Scale) {
+    println!("== Table 3: flow-level rate allocation, FB_Hadoop at 70% ==");
+    let res = fct_comparison(Workload::FbHadoop, 0.7, scale, BufferRegime::Pfc);
+    println!("{:>10} {:>16} {:>16}", "scheme", "avg rate (Mb/s)", "std dev (Mb/s)");
+    for row in table3(&res) {
+        println!(
+            "{:>10} {:>16.2} {:>16.2}",
+            row.scheme.name(),
+            row.mean_bps / 1e6,
+            row.std_bps / 1e6
+        );
+    }
+}
+
+fn run_fig17(scale: Scale) {
+    println!("== Fig. 17: avg queue size & PFC activation by CP class, WebSearch 70% ==");
+    let res = fct_comparison(Workload::WebSearch, 0.7, scale, BufferRegime::Pfc);
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "scheme", "q-core", "q-ingress", "q-egress", "pfc-core", "pfc-ingr", "pfc-egr"
+    );
+    for r in &res {
+        println!(
+            "{:>10} {:>12} {:>12} {:>12} {:>10.1} {:>10.1} {:>10.1}",
+            r.scheme.name(),
+            human_bytes(r.queues[0]),
+            human_bytes(r.queues[1]),
+            human_bytes(r.queues[2]),
+            r.pfc[0],
+            r.pfc[1],
+            r.pfc[2]
+        );
+    }
+}
+
+fn run_fold(scale: Scale, regime: BufferRegime, fig: &str, label: &str) {
+    println!("== {fig}: {label}, FB_Hadoop 70% ==");
+    let base = fct_comparison(Workload::FbHadoop, 0.7, scale, BufferRegime::Pfc);
+    let alt = fct_comparison(Workload::FbHadoop, 0.7, scale, regime);
+    for row in fold_increase(&base, &alt) {
+        print!("{:>10}", row.scheme.name());
+        for (bin, fct, fold) in &row.bins {
+            print!(" {}:{:.2}ms({:.1}x)", size_label(*bin), fct * 1e3, fold);
+        }
+        println!();
+        println!(
+            "{:>10}  retx share {:.2}%, drops {}",
+            "",
+            row.retx_fraction * 100.0,
+            row.drops
+        );
+    }
+}
+
+fn run_fig19(scale: Scale) {
+    println!("== Fig. 19 (A.1): DCQCN & HPCC verification — staggered 4-flow convergence ==");
+    for run in micro::fig19(scale) {
+        println!("-- {} --", run.scheme.name());
+        let len = run.flow_series[0].len();
+        for i in (0..len).step_by((len / 16).max(1)) {
+            let t = run.flow_series[0][i].t;
+            let vals: Vec<String> = run
+                .flow_series
+                .iter()
+                .map(|s| format!("{:5.1}", s[i].v / 1e9))
+                .collect();
+            println!("  t={:7.1}ms  [{}] Gb/s", t.as_millis_f64(), vals.join(" "));
+        }
+    }
+}
+
+fn run_ablation() {
+    use rocc_experiments::ablation;
+    println!("== Ablations: RoCC design choices (DESIGN.md §5) ==");
+    let print = |rs: &[ablation::AblationResult]| {
+        for r in rs {
+            println!(
+                "{:>22}: settle {:>9}, queue {:>8} +- {:>8}, fairness {:.4}, CNPs {:>7}, goodput {:>5.2} Gb/s",
+                r.variant,
+                r.settle.map_or("never".into(), |t| format!("{t}")),
+                human_bytes(r.queue_mean),
+                human_bytes(r.queue_sd),
+                r.fairness,
+                r.cnps,
+                r.mean_goodput / 1e9,
+            );
+        }
+    };
+    println!("-- auto-tuning (N = 64) --");
+    print(&ablation::ablate_auto_tune(64));
+    println!("-- multiplicative decrease (N = 10) --");
+    print(&ablation::ablate_md(10));
+    println!("-- flow-table policy (N = 10) --");
+    print(&ablation::ablate_flow_table(10));
+    println!("-- CNP prioritization (N = 10) --");
+    print(&ablation::ablate_cnp_priority(10));
+}
+
+fn run_table1() {
+    println!("== Table 1: comparison of selected congestion control solutions ==");
+    for r in table1::table1() {
+        println!(
+            "{:>8} | switch: {:<34} | source: {:<46} | dest: {}",
+            r.solution, r.switch_action, r.source_action, r.destination_action
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let exp = args.get(1).map(String::as_str).unwrap_or("help");
+    let scale = args
+        .get(2)
+        .and_then(|s| Scale::parse(s))
+        .unwrap_or(Scale::Quick);
+    let all = [
+        "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig11", "fig12a", "fig12b",
+        "fig13", "fig14", "fig15", "fig16", "table3", "fig17", "fig18", "fig19", "fig20",
+        "ablation",
+    ];
+    let run_one = |name: &str| match name {
+        "fig5" => run_fig5(),
+        "fig6" => run_fig6(),
+        "fig7" => run_fig7(),
+        "fig8" => run_fig8(scale),
+        "fig9" => run_fig9(scale),
+        "fig11" => run_fig11(scale),
+        "fig12a" => run_fig12a(scale),
+        "fig12b" => run_fig12b(scale),
+        "fig13" => run_fig13(scale),
+        "fct" => run_fct_all(scale),
+        "fig14" => run_fct(scale, "avg", "Fig. 14"),
+        "fig15" => run_fct(scale, "p90", "Fig. 15"),
+        "fig16" => run_fct(scale, "p99", "Fig. 16"),
+        "table3" => run_table3(scale),
+        "fig17" => run_fig17(scale),
+        "fig18" => run_fold(
+            scale,
+            BufferRegime::Unlimited,
+            "Fig. 18",
+            "PFC off + unlimited buffer",
+        ),
+        "fig19" => run_fig19(scale),
+        "fig20" => run_fold(scale, BufferRegime::Lossy3x, "Fig. 20", "lossy + go-back-N"),
+        "table1" => run_table1(),
+        "ablation" => run_ablation(),
+        "probe" => {
+            // Hidden: one paper-scale fat-tree run, for timing/feasibility.
+            use rocc_experiments::fct::{run_fat_tree, FatTreeConfig};
+            use rocc_experiments::Scheme;
+            let cfg = FatTreeConfig::for_scale(Scale::Paper);
+            let t0 = std::time::Instant::now();
+            let out = run_fat_tree(
+                Scheme::Rocc,
+                Workload::FbHadoop,
+                0.7,
+                &cfg,
+                BufferRegime::Pfc,
+                1,
+            );
+            println!(
+                "paper-scale RoCC FB_Hadoop: {} flows, completed={}, wall {:?}",
+                out.fcts.len(),
+                out.all_completed,
+                t0.elapsed()
+            );
+        }
+        other => {
+            eprintln!("unknown experiment: {other}");
+            eprintln!("experiments: {}", all.join(" "));
+            std::process::exit(2);
+        }
+    };
+    match exp {
+        "dump" => {
+            let dir = args.get(2).map(String::as_str).unwrap_or("repro_data");
+            let scale = args
+                .get(3)
+                .and_then(|s| Scale::parse(s))
+                .unwrap_or(Scale::Quick);
+            match rocc_experiments::csv::dump_all(std::path::Path::new(dir), scale) {
+                Ok(files) => {
+                    println!("wrote {} CSV files to {dir}/:", files.len());
+                    for f in files {
+                        println!("  {f}");
+                    }
+                }
+                Err(e) => {
+                    eprintln!("dump failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "all" => {
+            for name in all {
+                run_one(name);
+                println!();
+            }
+        }
+        "help" | "--help" | "-h" => {
+            println!("usage: repro <experiment|all> [quick|paper]");
+            println!("       repro dump <dir> [quick|paper]   (plot-ready CSVs)");
+            println!("experiments: {}", all.join(" "));
+        }
+        name => run_one(name),
+    }
+}

@@ -1,0 +1,548 @@
+//! Simulation micro-benchmarks (§6.1, §6.2, App. A.1):
+//! Fig. 8 (fairness/stability), Fig. 9 (convergence under load swings),
+//! Fig. 11 (scheme comparison), Fig. 12 (multi-bottleneck & asymmetric
+//! fairness), Fig. 13 (testbed-vs-sim validation), Fig. 19 (baseline
+//! verification).
+
+use crate::scenarios;
+use crate::schemes::Scheme;
+use crate::Scale;
+use rocc_sim::prelude::*;
+
+/// Build a simulation for `topo` under `scheme`.
+pub fn sim_with(topo: Topology, scheme: Scheme, base_rtt_us: u64, cfg: SimConfig) -> Sim {
+    let (h, s) = scheme.factories(SimDuration::from_micros(base_rtt_us));
+    Sim::new(topo, cfg, h, s)
+}
+
+/// Mean and population SD of the samples at or after `from`.
+pub fn tail_stats(series: &[Sample], from: SimTime) -> (f64, f64) {
+    let vals: Vec<f64> = series.iter().filter(|s| s.t >= from).map(|s| s.v).collect();
+    if vals.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+    let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+    (mean, var.sqrt())
+}
+
+/// First sample time after which the series stays within ±`tol` of
+/// `target` (convergence detection). `None` if it never settles.
+pub fn settle_time(series: &[Sample], target: f64, tol: f64) -> Option<SimTime> {
+    let ok = |v: f64| (v - target).abs() <= tol * target;
+    let mut candidate: Option<SimTime> = None;
+    for s in series {
+        if ok(s.v) {
+            candidate.get_or_insert(s.t);
+        } else {
+            candidate = None;
+        }
+    }
+    candidate
+}
+
+// ---------------------------------------------------------------- Fig. 8
+
+/// One Fig. 8 case: N flows on a B Gb/s bottleneck at 90% offered load.
+#[derive(Debug)]
+pub struct Fig8Case {
+    /// Flow count.
+    pub n: usize,
+    /// Link speed (Gb/s).
+    pub gbps: u64,
+    /// Bottleneck queue-depth series (bytes).
+    pub queue: Vec<Sample>,
+    /// Reaction-point rate of flow 0 (bits/s) — the published fair rate.
+    pub rate: Vec<Sample>,
+    /// Queue mean over the converged tail (bytes).
+    pub queue_mean: f64,
+    /// Queue SD over the converged tail (bytes).
+    pub queue_sd: f64,
+    /// Per-flow goodput over the converged tail (bits/s).
+    pub per_flow_goodput: Vec<f64>,
+    /// Queue settle time, if the queue converged to Qref ± 50%.
+    pub settle: Option<SimTime>,
+}
+
+/// Fig. 8: fairness (fair) and stability (stbl) for N ∈ {2, 10, 100} at
+/// B ∈ {40, 100} Gb/s, offered load 90% per source.
+pub fn fig8(scale: Scale) -> Vec<Fig8Case> {
+    let horizon = match scale {
+        Scale::Quick => SimTime::from_millis(14),
+        Scale::Paper => SimTime::from_millis(20),
+    };
+    let measure_from = SimTime::from_nanos(horizon.as_nanos() * 6 / 10);
+    let mut out = Vec::new();
+    for &gbps in &[40u64, 100] {
+        for &n in &[2usize, 10, 100] {
+            let d = scenarios::dumbbell(n, BitRate::from_gbps(gbps));
+            let mut sim = sim_with(d.topo, Scheme::Rocc, 7, SimConfig::default());
+            sim.trace.sample_period = Some(SimDuration::from_micros(100));
+            sim.trace.watch_queue(d.switch, d.bottleneck_port);
+            sim.trace.watch_cc_rate(FlowId(0));
+            let offered = BitRate::from_gbps(gbps).scale(0.9);
+            for (i, &s) in d.senders.iter().enumerate() {
+                sim.add_flow(FlowSpec {
+                    id: FlowId(i as u64),
+                    src: s,
+                    dst: d.receiver,
+                    size: u64::MAX,
+                    start: SimTime::ZERO,
+                    offered: Some(offered),
+                });
+            }
+            sim.run_until(measure_from);
+            let base: Vec<u64> = (0..n)
+                .map(|i| sim.trace.delivered_bytes(FlowId(i as u64)))
+                .collect();
+            sim.run_until(horizon);
+            let w = horizon.saturating_since(measure_from).as_secs_f64();
+            let per_flow_goodput: Vec<f64> = (0..n)
+                .map(|i| {
+                    (sim.trace.delivered_bytes(FlowId(i as u64)) - base[i]) as f64 * 8.0 / w
+                })
+                .collect();
+            let (queue_mean, queue_sd) = tail_stats(&sim.trace.queue_series[0], measure_from);
+            let qref = if gbps >= 100 { 300_000.0 } else { 150_000.0 };
+            let settle = settle_time(&sim.trace.queue_series[0], qref, 0.5);
+            out.push(Fig8Case {
+                n,
+                gbps,
+                queue: std::mem::take(&mut sim.trace.queue_series[0]),
+                rate: std::mem::take(&mut sim.trace.cc_rate_series[0]),
+                queue_mean,
+                queue_sd,
+                per_flow_goodput,
+                settle,
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- Fig. 9
+
+/// Fig. 9 output: dynamics under an exponential load swing.
+#[derive(Debug)]
+pub struct Fig9Result {
+    /// Bottleneck queue series (bytes).
+    pub queue: Vec<Sample>,
+    /// RP rate of flow 0 (bits/s).
+    pub rate: Vec<Sample>,
+    /// (time, active flow count) step profile.
+    pub steps: Vec<(SimTime, usize)>,
+}
+
+/// Fig. 9: start with 3 flows, double the count every step until 96, then
+/// halve back down — queue and fair rate must re-stabilize at every step.
+pub fn fig9(scale: Scale) -> Fig9Result {
+    let step = match scale {
+        Scale::Quick => SimDuration::from_millis(6),
+        Scale::Paper => SimDuration::from_millis(10),
+    };
+    let counts = [3usize, 6, 12, 24, 48, 96, 48, 24, 12, 6, 3];
+    let d = scenarios::dumbbell(96, BitRate::from_gbps(40));
+    let mut sim = sim_with(d.topo, Scheme::Rocc, 7, SimConfig::default());
+    sim.trace.sample_period = Some(SimDuration::from_micros(100));
+    sim.trace.watch_queue(d.switch, d.bottleneck_port);
+    sim.trace.watch_cc_rate(FlowId(0));
+    // Flow i exists while the active count exceeds i: start it at the
+    // first step needing it, stop it at the first later step not needing it.
+    let mut steps = Vec::new();
+    for (k, &c) in counts.iter().enumerate() {
+        let t = SimTime::ZERO + step.saturating_mul(k as u64);
+        steps.push((t, c));
+    }
+    let max_seen = |upto: usize| -> usize { counts[..=upto].iter().copied().max().unwrap() };
+    for i in 0..96 {
+        // Start when first required.
+        let start_k = counts.iter().position(|&c| c > i).unwrap();
+        let start = SimTime::ZERO + step.saturating_mul(start_k as u64);
+        sim.add_flow(FlowSpec {
+            id: FlowId(i as u64),
+            src: d.senders[i],
+            dst: d.receiver,
+            size: u64::MAX,
+            start,
+            offered: None,
+        });
+        // Stop at the first step after the peak where the count drops to i
+        // or below.
+        for (k, &c) in counts.iter().enumerate() {
+            if k > start_k && max_seen(k - 1) > i && c <= i {
+                let t = SimTime::ZERO + step.saturating_mul(k as u64);
+                sim.stop_flow_at(FlowId(i as u64), t);
+                break;
+            }
+        }
+    }
+    let total = SimTime::ZERO + step.saturating_mul(counts.len() as u64);
+    sim.run_until(total);
+    Fig9Result {
+        queue: std::mem::take(&mut sim.trace.queue_series[0]),
+        rate: std::mem::take(&mut sim.trace.cc_rate_series[0]),
+        steps,
+    }
+}
+
+// ---------------------------------------------------------------- Fig. 11
+
+/// One scheme's row in the Fig. 11 comparison.
+#[derive(Debug)]
+pub struct Fig11Row {
+    /// The scheme.
+    pub scheme: Scheme,
+    /// Per-flow goodput over the measurement window (bits/s), N entries.
+    pub per_flow_rate: Vec<f64>,
+    /// Queue series at the bottleneck (bytes).
+    pub queue: Vec<Sample>,
+    /// Bottleneck throughput series (bits/s).
+    pub util: Vec<Sample>,
+    /// Queue mean over the tail (bytes).
+    pub queue_mean: f64,
+    /// Queue SD over the tail (bytes).
+    pub queue_sd: f64,
+    /// Mean utilization over the tail (fraction of line rate).
+    pub util_mean: f64,
+}
+
+/// Fig. 11: RoCC vs TIMELY, QCN, DCQCN, DCQCN+PI, HPCC on the N = 10,
+/// B = 40 Gb/s single-bottleneck scenario.
+pub fn fig11(scale: Scale) -> Vec<Fig11Row> {
+    let horizon = match scale {
+        Scale::Quick => SimTime::from_millis(24),
+        Scale::Paper => SimTime::from_millis(40),
+    };
+    let measure_from = SimTime::from_nanos(horizon.as_nanos() / 2);
+    let n = 10;
+    Scheme::comparison_set()
+        .into_iter()
+        .map(|scheme| {
+            let d = scenarios::dumbbell(n, BitRate::from_gbps(40));
+            let mut sim = sim_with(d.topo, scheme, 7, SimConfig::default());
+            sim.trace.sample_period = Some(SimDuration::from_micros(100));
+            sim.trace.watch_queue(d.switch, d.bottleneck_port);
+            sim.trace.watch_port_tput(d.switch, d.bottleneck_port);
+            let offered = BitRate::from_gbps(40).scale(0.9);
+            for (i, &s) in d.senders.iter().enumerate() {
+                sim.add_flow(FlowSpec {
+                    id: FlowId(i as u64),
+                    src: s,
+                    dst: d.receiver,
+                    size: u64::MAX,
+                    start: SimTime::ZERO,
+                    offered: Some(offered),
+                });
+            }
+            sim.run_until(measure_from);
+            let base: Vec<u64> = (0..n)
+                .map(|i| sim.trace.delivered_bytes(FlowId(i as u64)))
+                .collect();
+            sim.run_until(horizon);
+            let w = horizon.saturating_since(measure_from).as_secs_f64();
+            let per_flow_rate: Vec<f64> = (0..n)
+                .map(|i| {
+                    (sim.trace.delivered_bytes(FlowId(i as u64)) - base[i]) as f64 * 8.0 / w
+                })
+                .collect();
+            let (queue_mean, queue_sd) = tail_stats(&sim.trace.queue_series[0], measure_from);
+            let (util_raw, _) = tail_stats(&sim.trace.port_tput_series[0], measure_from);
+            Fig11Row {
+                scheme,
+                per_flow_rate,
+                queue: std::mem::take(&mut sim.trace.queue_series[0]),
+                util: std::mem::take(&mut sim.trace.port_tput_series[0]),
+                queue_mean,
+                queue_sd,
+                util_mean: util_raw / 40e9,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Fig. 12
+
+/// Fig. 12 fairness rows: per-flow average throughput per scheme.
+#[derive(Debug)]
+pub struct Fig12Row {
+    /// The scheme.
+    pub scheme: Scheme,
+    /// Average throughput per flow (bits/s), in flow-id order.
+    pub throughput: Vec<f64>,
+}
+
+fn measure_goodputs(
+    sim: &mut Sim,
+    flows: usize,
+    from: SimTime,
+    to: SimTime,
+) -> Vec<f64> {
+    sim.run_until(from);
+    let base: Vec<u64> = (0..flows)
+        .map(|i| sim.trace.delivered_bytes(FlowId(i as u64)))
+        .collect();
+    sim.run_until(to);
+    let w = to.saturating_since(from).as_secs_f64();
+    (0..flows)
+        .map(|i| (sim.trace.delivered_bytes(FlowId(i as u64)) - base[i]) as f64 * 8.0 / w)
+        .collect()
+}
+
+/// Fig. 12a: multi-bottleneck fairness for DCQCN, HPCC, RoCC. Flows are
+/// D0..D5 (D0 crosses two CPs; expected 5 Gb/s for D0/D5, 8.75 for D1–D4).
+pub fn fig12a(scale: Scale) -> Vec<Fig12Row> {
+    let (from, to) = match scale {
+        Scale::Quick => (SimTime::from_millis(20), SimTime::from_millis(32)),
+        Scale::Paper => (SimTime::from_millis(30), SimTime::from_millis(60)),
+    };
+    Scheme::large_scale_set()
+        .into_iter()
+        .map(|scheme| {
+            let m = scenarios::multi_bottleneck();
+            let mut sim = sim_with(m.topo, scheme, 9, SimConfig::default());
+            let offered = Some(BitRate::from_gbps(10).scale(0.9));
+            sim.add_flow(FlowSpec {
+                id: FlowId(0),
+                src: m.a0,
+                dst: m.b0,
+                size: u64::MAX,
+                start: SimTime::ZERO,
+                offered,
+            });
+            for (i, (&s, &dst)) in m.a.iter().zip(&m.b).enumerate() {
+                sim.add_flow(FlowSpec {
+                    id: FlowId(1 + i as u64),
+                    src: s,
+                    dst,
+                    size: u64::MAX,
+                    start: SimTime::ZERO,
+                    offered,
+                });
+            }
+            sim.add_flow(FlowSpec {
+                id: FlowId(5),
+                src: m.b5,
+                dst: m.b0,
+                size: u64::MAX,
+                start: SimTime::ZERO,
+                offered,
+            });
+            let throughput = measure_goodputs(&mut sim, 6, from, to);
+            Fig12Row { scheme, throughput }
+        })
+        .collect()
+}
+
+/// Fig. 12b: asymmetric-topology fairness. Flows D0..D4 from 40G hosts,
+/// D5..D6 from 100G hosts, all into one 100G sink (fair share 14.29 Gb/s).
+pub fn fig12b(scale: Scale) -> Vec<Fig12Row> {
+    let (from, to) = match scale {
+        Scale::Quick => (SimTime::from_millis(12), SimTime::from_millis(24)),
+        Scale::Paper => (SimTime::from_millis(20), SimTime::from_millis(50)),
+    };
+    Scheme::large_scale_set()
+        .into_iter()
+        .map(|scheme| {
+            let a = scenarios::asymmetric();
+            let mut sim = sim_with(a.topo, scheme, 9, SimConfig::default());
+            for (i, &s) in a.slow_sources.iter().enumerate() {
+                sim.add_flow(FlowSpec {
+                    id: FlowId(i as u64),
+                    src: s,
+                    dst: a.dst,
+                    size: u64::MAX,
+                    start: SimTime::ZERO,
+                    offered: Some(BitRate::from_gbps(40).scale(0.9)),
+                });
+            }
+            for (i, &s) in a.fast_sources.iter().enumerate() {
+                sim.add_flow(FlowSpec {
+                    id: FlowId(5 + i as u64),
+                    src: s,
+                    dst: a.dst,
+                    size: u64::MAX,
+                    start: SimTime::ZERO,
+                    offered: Some(BitRate::from_gbps(100).scale(0.9)),
+                });
+            }
+            let throughput = measure_goodputs(&mut sim, 7, from, to);
+            Fig12Row { scheme, throughput }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Fig. 13
+
+/// One Fig. 13 run: a profile × scenario cell.
+#[derive(Debug)]
+pub struct Fig13Run {
+    /// "sim" or "testbed" (the DPDK-substitute profile).
+    pub profile: &'static str,
+    /// "uni" (all 10 Gb/s offered) or "mix" (10/3/1 Gb/s offered).
+    pub scenario: &'static str,
+    /// Egress queue series at the switch (bytes).
+    pub queue: Vec<Sample>,
+    /// Queue mean over the tail (bytes) — expected ≈ 75 KB.
+    pub queue_mean: f64,
+    /// Per-flow goodput over the tail (bits/s).
+    pub goodput: Vec<f64>,
+}
+
+/// Fig. 13: validate the clean simulation against the "testbed" profile
+/// (protocol-stack latency + NIC jitter + T = 100 µs on 10 GbE), in the
+/// uniform and mixed offered-load scenarios of §6.2.
+pub fn fig13(scale: Scale) -> Vec<Fig13Run> {
+    let horizon = match scale {
+        Scale::Quick => SimTime::from_millis(60),
+        Scale::Paper => SimTime::from_millis(100),
+    };
+    let measure_from = SimTime::from_nanos(horizon.as_nanos() / 2);
+    let mut out = Vec::new();
+    for &(profile, testbed) in &[("sim", false), ("testbed", true)] {
+        for &(scenario, rates) in &[
+            ("uni", [10u64, 10, 10]),
+            ("mix", [10, 3, 1]),
+        ] {
+            let d = scenarios::testbed();
+            let cfg = if testbed {
+                SimConfig::default().testbed_profile()
+            } else {
+                SimConfig::default()
+            };
+            let mut sim = sim_with(d.topo, Scheme::Rocc, 10, cfg);
+            sim.trace.sample_period = Some(SimDuration::from_micros(200));
+            sim.trace.watch_queue(d.switch, d.bottleneck_port);
+            for (i, &s) in d.senders.iter().enumerate() {
+                sim.add_flow(FlowSpec {
+                    id: FlowId(i as u64),
+                    src: s,
+                    dst: d.receiver,
+                    size: u64::MAX,
+                    start: SimTime::ZERO,
+                    offered: Some(BitRate::from_gbps(rates[i])),
+                });
+            }
+            sim.run_until(measure_from);
+            let base: Vec<u64> = (0..3)
+                .map(|i| sim.trace.delivered_bytes(FlowId(i as u64)))
+                .collect();
+            sim.run_until(horizon);
+            let w = horizon.saturating_since(measure_from).as_secs_f64();
+            let goodput: Vec<f64> = (0..3)
+                .map(|i| {
+                    (sim.trace.delivered_bytes(FlowId(i as u64)) - base[i]) as f64 * 8.0 / w
+                })
+                .collect();
+            let (queue_mean, _) = tail_stats(&sim.trace.queue_series[0], measure_from);
+            out.push(Fig13Run {
+                profile,
+                scenario,
+                queue: std::mem::take(&mut sim.trace.queue_series[0]),
+                queue_mean,
+                goodput,
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- Fig. 19
+
+/// One Fig. 19 verification run.
+#[derive(Debug)]
+pub struct Fig19Run {
+    /// DCQCN or HPCC.
+    pub scheme: Scheme,
+    /// Per-flow goodput series (bits/s), 4 flows.
+    pub flow_series: Vec<Vec<Sample>>,
+}
+
+/// Fig. 19 (App. A.1): verify the DCQCN and HPCC implementations by the
+/// staggered 4-flow convergence experiment — per-flow throughput steps
+/// 40 → 20 → 13.3 → 10 Gb/s and back as flows join and leave.
+pub fn fig19(scale: Scale) -> Vec<Fig19Run> {
+    let step = match scale {
+        Scale::Quick => SimDuration::from_millis(15),
+        Scale::Paper => SimDuration::from_millis(50),
+    };
+    [Scheme::Dcqcn, Scheme::Hpcc]
+        .into_iter()
+        .map(|scheme| {
+            let d = scenarios::dumbbell(4, BitRate::from_gbps(40));
+            let mut sim = sim_with(d.topo, scheme, 7, SimConfig::default());
+            sim.trace.sample_period = Some(SimDuration::from_micros(500));
+            for i in 0..4u64 {
+                sim.trace.watch_flow_rate(FlowId(i));
+                sim.add_flow(FlowSpec {
+                    id: FlowId(i),
+                    src: d.senders[i as usize],
+                    dst: d.receiver,
+                    size: u64::MAX,
+                    start: SimTime::ZERO + step.saturating_mul(i),
+                    offered: None,
+                });
+                // Stop in LIFO order: flow 3 first.
+                let stop_k = 4 + (3 - i);
+                sim.stop_flow_at(FlowId(i), SimTime::ZERO + step.saturating_mul(stop_k));
+            }
+            sim.run_until(SimTime::ZERO + step.saturating_mul(8));
+            Fig19Run {
+                scheme,
+                flow_series: std::mem::take(&mut sim.trace.flow_rate_series),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn settle_time_detection() {
+        let mk = |vals: &[f64]| -> Vec<Sample> {
+            vals.iter()
+                .enumerate()
+                .map(|(i, &v)| Sample {
+                    t: SimTime::from_micros(i as u64),
+                    v,
+                })
+                .collect()
+        };
+        let s = mk(&[0.0, 50.0, 100.0, 100.0, 100.0]);
+        assert_eq!(
+            settle_time(&s, 100.0, 0.2),
+            Some(SimTime::from_micros(2))
+        );
+        let s = mk(&[100.0, 0.0, 100.0]);
+        assert_eq!(settle_time(&s, 100.0, 0.2), Some(SimTime::from_micros(2)));
+        let s = mk(&[0.0, 0.0]);
+        assert_eq!(settle_time(&s, 100.0, 0.2), None);
+    }
+
+    #[test]
+    fn fig13_uni_scenario_converges_like_the_paper() {
+        // The headline §6.2 result: queue stabilizes at Qref = 75 KB and
+        // the uniform scenario's fair rate is ~3.33 Gb/s per flow (the
+        // paper reports "3 Gb/s" on 10 GbE with three saturating clients).
+        let runs = fig13(Scale::Quick);
+        let uni_sim = runs
+            .iter()
+            .find(|r| r.profile == "sim" && r.scenario == "uni")
+            .unwrap();
+        assert!(
+            (uni_sim.queue_mean - 75_000.0).abs() < 30_000.0,
+            "queue mean {:.0} not near 75 KB",
+            uni_sim.queue_mean
+        );
+        for (i, g) in uni_sim.goodput.iter().enumerate() {
+            let ideal = 10e9 / 3.0 * (1000.0 / 1048.0);
+            assert!(
+                (g - ideal).abs() / ideal < 0.25,
+                "flow {i}: {:.2} Gb/s vs ideal {:.2}",
+                g / 1e9,
+                ideal / 1e9
+            );
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Topology builders for every evaluation scenario in the paper.
+
+use rocc_sim::prelude::*;
+
+/// Paper link propagation delay (§6): 1.5 µs everywhere.
+pub fn link_delay() -> SimDuration {
+    SimDuration::from_nanos(1_500)
+}
+
+/// A built scenario: the topology plus the node/port handles experiments
+/// need to attach flows and probes.
+pub struct Dumbbell {
+    /// The topology.
+    pub topo: Topology,
+    /// Sender hosts.
+    pub senders: Vec<NodeId>,
+    /// The single receiver.
+    pub receiver: NodeId,
+    /// The switch.
+    pub switch: NodeId,
+    /// Switch egress port toward the receiver (the congestion point).
+    pub bottleneck_port: PortId,
+}
+
+/// §6.1 micro-benchmark: N sources → one switch → one destination, all
+/// links `rate`, delay 1.5 µs. The switch-to-destination link is the single
+/// bottleneck.
+pub fn dumbbell(n_senders: usize, rate: BitRate) -> Dumbbell {
+    let mut b = TopologyBuilder::new();
+    let switch = b.add_switch("sw", NodeRole::Switch);
+    let receiver = b.add_host("dst");
+    // Connecting switch-side first makes the switch's port toward the
+    // receiver PortId(0).
+    let (bottleneck_port, _) = b.connect(switch, receiver, rate, link_delay());
+    let senders = (0..n_senders)
+        .map(|i| {
+            let h = b.add_host(format!("src{i}"));
+            b.connect(h, switch, rate, link_delay());
+            h
+        })
+        .collect();
+    Dumbbell {
+        topo: b.build(),
+        senders,
+        receiver,
+        switch,
+        bottleneck_port,
+    }
+}
+
+/// Fig. 10 multi-bottleneck scenario handles.
+pub struct MultiBottleneck {
+    /// The topology.
+    pub topo: Topology,
+    /// A0 (source of the two-CP flow D0).
+    pub a0: NodeId,
+    /// A1..A4 (sources of D1..D4).
+    pub a: Vec<NodeId>,
+    /// B5 (source of D5).
+    pub b5: NodeId,
+    /// B0 (destination of D0 and D5).
+    pub b0: NodeId,
+    /// B1..B4 (destinations of D1..D4).
+    pub b: Vec<NodeId>,
+    /// S0 (ingress switch).
+    pub s0: NodeId,
+    /// S1 (egress switch).
+    pub s1: NodeId,
+}
+
+/// Fig. 10: A0..A4 behind S0, B0..B5 behind S1; access links 10 Gb/s, the
+/// S0–S1 trunk 40 Gb/s. D0 = A0→B0 crosses two CPs; D5 = B5→B0 shares only
+/// the last hop; D1..D4 = Ai→Bi share only the trunk.
+pub fn multi_bottleneck() -> MultiBottleneck {
+    let mut b = TopologyBuilder::new();
+    let s0 = b.add_switch("S0", NodeRole::EdgeSwitch);
+    let s1 = b.add_switch("S1", NodeRole::EdgeSwitch);
+    b.connect(s0, s1, BitRate::from_gbps(40), link_delay());
+    let acc = BitRate::from_gbps(10);
+    let a0 = b.add_host("A0");
+    b.connect(a0, s0, acc, link_delay());
+    let b0 = b.add_host("B0");
+    b.connect(b0, s1, acc, link_delay());
+    let b5 = b.add_host("B5");
+    b.connect(b5, s1, acc, link_delay());
+    let mut a = Vec::new();
+    let mut bs = Vec::new();
+    for i in 1..=4 {
+        let ai = b.add_host(format!("A{i}"));
+        b.connect(ai, s0, acc, link_delay());
+        a.push(ai);
+        let bi = b.add_host(format!("B{i}"));
+        b.connect(bi, s1, acc, link_delay());
+        bs.push(bi);
+    }
+    MultiBottleneck {
+        topo: b.build(),
+        a0,
+        a,
+        b5,
+        b0,
+        b: bs,
+        s0,
+        s1,
+    }
+}
+
+/// §6.1 asymmetric-topology scenario handles.
+pub struct Asymmetric {
+    /// The topology.
+    pub topo: Topology,
+    /// A0..A4: sources behind S0 on 40 Gb/s access links.
+    pub slow_sources: Vec<NodeId>,
+    /// A5, A6: sources behind S1 on 100 Gb/s access links.
+    pub fast_sources: Vec<NodeId>,
+    /// The destination B0 behind S2 (100 Gb/s).
+    pub dst: NodeId,
+}
+
+/// Asymmetric topology: S0 (5×40G hosts) and S1 (2×100G hosts) feed S2
+/// over 100G trunks; B0 hangs off S2 at 100G. All 7 flows share S2→B0, so
+/// the fair share is 100/7 ≈ 14.29 Gb/s despite the asymmetric access.
+pub fn asymmetric() -> Asymmetric {
+    let mut b = TopologyBuilder::new();
+    let s0 = b.add_switch("S0", NodeRole::EdgeSwitch);
+    let s1 = b.add_switch("S1", NodeRole::EdgeSwitch);
+    let s2 = b.add_switch("S2", NodeRole::CoreSwitch);
+    let g100 = BitRate::from_gbps(100);
+    b.connect(s0, s2, g100, link_delay());
+    b.connect(s1, s2, g100, link_delay());
+    let dst = b.add_host("B0");
+    b.connect(s2, dst, g100, link_delay());
+    let slow_sources = (0..5)
+        .map(|i| {
+            let h = b.add_host(format!("A{i}"));
+            b.connect(h, s0, BitRate::from_gbps(40), link_delay());
+            h
+        })
+        .collect();
+    let fast_sources = (5..7)
+        .map(|i| {
+            let h = b.add_host(format!("A{i}"));
+            b.connect(h, s1, g100, link_delay());
+            h
+        })
+        .collect();
+    Asymmetric {
+        topo: b.build(),
+        slow_sources,
+        fast_sources,
+        dst,
+    }
+}
+
+/// §6.3 two-level fat-tree handles.
+pub struct FatTree {
+    /// The topology.
+    pub topo: Topology,
+    /// Hosts behind edge 0 and edge 1 (the senders).
+    pub senders: Vec<NodeId>,
+    /// Hosts behind edge 2 (the receivers).
+    pub receivers: Vec<NodeId>,
+    /// The three core switches.
+    pub cores: Vec<NodeId>,
+    /// The three edge switches.
+    pub edges: Vec<NodeId>,
+    /// Core egress ports toward edge 2 (the "core" CPs of Fig. 17).
+    pub core_cp_ports: Vec<(NodeId, PortId)>,
+    /// Edge-0/1 uplink ports toward the cores (the "ingress edge" CPs).
+    pub ingress_cp_ports: Vec<(NodeId, PortId)>,
+    /// Edge-2 ports toward receivers (the "egress edge" CPs).
+    pub egress_cp_ports: Vec<(NodeId, PortId)>,
+}
+
+/// Build the paper's fat-tree: 3 cores, 3 edges, `trunks` 100 GbE links per
+/// edge-core pair, `hosts_per_edge` hosts per edge at 40 GbE. The paper
+/// uses 30 hosts and 2 trunks (2:1 oversubscription); the quick profile
+/// scales both down, preserving the oversubscription ratio.
+pub fn fat_tree(hosts_per_edge: usize, trunks: usize) -> FatTree {
+    let mut b = TopologyBuilder::new();
+    let cores: Vec<NodeId> = (0..3)
+        .map(|i| b.add_switch(format!("core{i}"), NodeRole::CoreSwitch))
+        .collect();
+    let edges: Vec<NodeId> = (0..3)
+        .map(|i| b.add_switch(format!("edge{i}"), NodeRole::EdgeSwitch))
+        .collect();
+    let mut core_ports = Vec::new(); // (core, port, edge_idx)
+    let mut edge_up_ports = Vec::new(); // (edge_idx, port)
+    for (ei, &e) in edges.iter().enumerate() {
+        for &c in &cores {
+            for _ in 0..trunks {
+                let (pe, pc) = b.connect(e, c, BitRate::from_gbps(100), link_delay());
+                core_ports.push((c, pc, ei));
+                edge_up_ports.push((ei, pe));
+            }
+        }
+    }
+    let mut senders = Vec::new();
+    let mut receivers = Vec::new();
+    let mut egress_cp_ports = Vec::new();
+    for (ei, &e) in edges.iter().enumerate() {
+        for h in 0..hosts_per_edge {
+            let host = b.add_host(format!("h{ei}_{h}"));
+            let (pe, _) = b.connect(e, host, BitRate::from_gbps(40), link_delay());
+            if ei == 2 {
+                receivers.push(host);
+                egress_cp_ports.push((e, pe));
+            } else {
+                senders.push(host);
+            }
+        }
+    }
+    let core_cp_ports = core_ports
+        .iter()
+        .filter(|&&(_, _, ei)| ei == 2)
+        .map(|&(c, p, _)| (c, p))
+        .collect();
+    let ingress_cp_ports = edge_up_ports
+        .iter()
+        .filter(|&&(ei, _)| ei != 2)
+        .map(|&(ei, p)| (edges[ei], p))
+        .collect();
+    FatTree {
+        topo: b.build(),
+        senders,
+        receivers,
+        cores,
+        edges,
+        core_cp_ports,
+        ingress_cp_ports,
+        egress_cp_ports,
+    }
+}
+
+/// §6.2 DPDK testbed shape: 3 iPerf-like sources → switch → 1 destination,
+/// all 10 GbE.
+pub fn testbed() -> Dumbbell {
+    dumbbell(3, BitRate::from_gbps(10))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rocc_sim::prelude::FlowId;
+
+    #[test]
+    fn dumbbell_shape() {
+        let d = dumbbell(10, BitRate::from_gbps(40));
+        assert_eq!(d.senders.len(), 10);
+        assert_eq!(d.topo.hosts().len(), 11);
+        // The switch routes every sender's flow out the bottleneck port.
+        for &s in &d.senders {
+            let p = d.topo.route(d.switch, d.receiver, FlowId(1)).unwrap();
+            assert_eq!(p, d.bottleneck_port);
+            assert!(d.topo.route(s, d.receiver, FlowId(1)).is_some());
+        }
+    }
+
+    #[test]
+    fn multi_bottleneck_paths() {
+        let m = multi_bottleneck();
+        // D0 (A0→B0) must traverse both switches.
+        let p0 = m.topo.route(m.a0, m.b0, FlowId(0)).unwrap();
+        assert_eq!(m.topo.neighbor(m.a0, p0), m.s0);
+        let p1 = m.topo.route(m.s0, m.b0, FlowId(0)).unwrap();
+        assert_eq!(m.topo.neighbor(m.s0, p1), m.s1);
+        // D5 (B5→B0) only touches S1.
+        let p5 = m.topo.route(m.b5, m.b0, FlowId(5)).unwrap();
+        assert_eq!(m.topo.neighbor(m.b5, p5), m.s1);
+    }
+
+    #[test]
+    fn asymmetric_shape() {
+        let a = asymmetric();
+        assert_eq!(a.slow_sources.len(), 5);
+        assert_eq!(a.fast_sources.len(), 2);
+        // Every source reaches the destination.
+        for &s in a.slow_sources.iter().chain(&a.fast_sources) {
+            assert!(a.topo.route(s, a.dst, FlowId(9)).is_some());
+        }
+    }
+
+    #[test]
+    fn fat_tree_shape_and_ecmp() {
+        let f = fat_tree(4, 2);
+        assert_eq!(f.senders.len(), 8);
+        assert_eq!(f.receivers.len(), 4);
+        assert_eq!(f.cores.len(), 3);
+        // Edge 0 has 3 cores × 2 trunks = 6 equal-cost uplinks per
+        // receiver destination.
+        let cands = f.topo.route_candidates(f.edges[0], f.receivers[0]);
+        assert_eq!(cands.len(), 6);
+        // Core CPs: 3 cores × 2 trunks toward edge 2.
+        assert_eq!(f.core_cp_ports.len(), 6);
+        // Ingress-edge CPs: edges 0 and 1 × 6 uplinks.
+        assert_eq!(f.ingress_cp_ports.len(), 12);
+        assert_eq!(f.egress_cp_ports.len(), 4);
+    }
+
+    #[test]
+    fn fat_tree_sender_reaches_every_receiver() {
+        let f = fat_tree(3, 1);
+        for &s in &f.senders {
+            for &r in &f.receivers {
+                assert!(f.topo.route(s, r, FlowId(3)).is_some());
+            }
+        }
+    }
+}

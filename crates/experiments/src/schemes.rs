@@ -1,0 +1,148 @@
+//! Scheme registry: one enum naming every congestion-control scheme under
+//! evaluation, mapped to its host/switch factory pair.
+
+use rocc_baselines::{
+    DcqcnHostCcFactory, DcqcnSwitchCcFactory, HpccHostCcFactory, HpccParams,
+    HpccSwitchCcFactory, PiMarkingSwitchCcFactory, QcnHostCcFactory, QcnSwitchCcFactory,
+    TimelyHostCcFactory,
+};
+use rocc_core::{RoccHostCcFactory, RoccSwitchCcFactory};
+use rocc_sim::cc::{HostCcFactory, NullSwitchCcFactory, SwitchCcFactory};
+use rocc_sim::prelude::SimDuration;
+
+/// Every congestion-control scheme in the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// RoCC (this paper).
+    Rocc,
+    /// DCQCN (Zhu et al. '15).
+    Dcqcn,
+    /// DCQCN with PI-controlled marking (Zhu et al. '16).
+    DcqcnPi,
+    /// QCN (802.1Qau).
+    Qcn,
+    /// TIMELY (Mittal et al. '15).
+    Timely,
+    /// Patched TIMELY (Zhu et al. '16): absolute-RTT steering with a
+    /// unique fixed point.
+    TimelyPatched,
+    /// HPCC (Li et al. '19).
+    Hpcc,
+    /// No congestion control (PFC only).
+    None,
+}
+
+impl Scheme {
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Rocc => "RoCC",
+            Scheme::Dcqcn => "DCQCN",
+            Scheme::DcqcnPi => "DCQCN+PI",
+            Scheme::Qcn => "QCN",
+            Scheme::Timely => "TIMELY",
+            Scheme::TimelyPatched => "TIMELY+patch",
+            Scheme::Hpcc => "HPCC",
+            Scheme::None => "none",
+        }
+    }
+
+    /// The trio compared in the large-scale evaluation (§6.3).
+    pub fn large_scale_set() -> [Scheme; 3] {
+        [Scheme::Dcqcn, Scheme::Hpcc, Scheme::Rocc]
+    }
+
+    /// The full §6.1 comparison set (Fig. 11).
+    pub fn comparison_set() -> [Scheme; 6] {
+        [
+            Scheme::Timely,
+            Scheme::Qcn,
+            Scheme::Dcqcn,
+            Scheme::DcqcnPi,
+            Scheme::Hpcc,
+            Scheme::Rocc,
+        ]
+    }
+
+    /// Instantiate the factory pair. `base_rtt` parameterizes HPCC's BDP
+    /// window (topology-dependent; the paper's fat-tree base RTT ≈ 13 µs).
+    pub fn factories(
+        self,
+        base_rtt: SimDuration,
+    ) -> (Box<dyn HostCcFactory>, Box<dyn SwitchCcFactory>) {
+        match self {
+            Scheme::Rocc => (
+                Box::new(RoccHostCcFactory::new()),
+                Box::new(RoccSwitchCcFactory::new()),
+            ),
+            Scheme::Dcqcn => (
+                Box::new(DcqcnHostCcFactory::default()),
+                Box::new(DcqcnSwitchCcFactory::default()),
+            ),
+            Scheme::DcqcnPi => (
+                Box::new(DcqcnHostCcFactory::default()),
+                Box::new(PiMarkingSwitchCcFactory::default()),
+            ),
+            Scheme::Qcn => (
+                Box::new(QcnHostCcFactory::default()),
+                Box::new(QcnSwitchCcFactory::default()),
+            ),
+            Scheme::Timely => (
+                Box::new(TimelyHostCcFactory::default()),
+                Box::new(NullSwitchCcFactory),
+            ),
+            Scheme::TimelyPatched => (
+                Box::new(TimelyHostCcFactory {
+                    params: Some(rocc_baselines::TimelyParams::patched()),
+                }),
+                Box::new(NullSwitchCcFactory),
+            ),
+            Scheme::Hpcc => (
+                Box::new(HpccHostCcFactory {
+                    params: Some(HpccParams {
+                        base_rtt,
+                        ..Default::default()
+                    }),
+                }),
+                Box::new(HpccSwitchCcFactory),
+            ),
+            Scheme::None => (
+                Box::new(rocc_sim::cc::NullHostCcFactory),
+                Box::new(NullSwitchCcFactory),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rocc_sim::prelude::{BitRate, FlowId};
+
+    #[test]
+    fn all_schemes_instantiate() {
+        for s in Scheme::comparison_set()
+            .into_iter()
+            .chain([Scheme::TimelyPatched])
+        {
+            let (h, sw) = s.factories(SimDuration::from_micros(12));
+            let hc = h.make(FlowId(0), BitRate::from_gbps(40));
+            // Every scheme starts a flow at a positive rate.
+            assert!(hc.decision().rate.as_bps() > 0, "{}", s.name());
+            let _ = sw.make(
+                rocc_sim::prelude::CpId {
+                    node: rocc_sim::prelude::NodeId(0),
+                    port: rocc_sim::prelude::PortId(0),
+                },
+                BitRate::from_gbps(40),
+            );
+        }
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Scheme::Rocc.name(), "RoCC");
+        assert_eq!(Scheme::DcqcnPi.name(), "DCQCN+PI");
+        assert_eq!(Scheme::large_scale_set().map(|s| s.name()), ["DCQCN", "HPCC", "RoCC"]);
+    }
+}

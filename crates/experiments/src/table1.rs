@@ -1,0 +1,67 @@
+//! Table 1: the qualitative comparison of congestion-control solutions.
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy)]
+pub struct Table1Row {
+    /// Solution name.
+    pub solution: &'static str,
+    /// Switch action.
+    pub switch_action: &'static str,
+    /// Source action.
+    pub source_action: &'static str,
+    /// Destination action.
+    pub destination_action: &'static str,
+}
+
+/// The paper's Table 1, verbatim.
+pub fn table1() -> Vec<Table1Row> {
+    vec![
+        Table1Row {
+            solution: "DCTCP",
+            switch_action: "Mark ECN",
+            source_action: "Adjust congestion window based on ECN",
+            destination_action: "Echo ECN",
+        },
+        Table1Row {
+            solution: "QCN",
+            switch_action: "Compute and send Fb to source",
+            source_action: "Compute rate based on Fb",
+            destination_action: "None",
+        },
+        Table1Row {
+            solution: "DCQCN",
+            switch_action: "Mark ECN",
+            source_action: "Compute rate based on CNP",
+            destination_action: "Send CNP to source",
+        },
+        Table1Row {
+            solution: "TIMELY",
+            switch_action: "None",
+            source_action: "Send RTT probes and compute rate based on RTT",
+            destination_action: "Echo RTT probes",
+        },
+        Table1Row {
+            solution: "HPCC",
+            switch_action: "Inject INT",
+            source_action: "Adjust sending window based on INT",
+            destination_action: "Echo INT",
+        },
+        Table1Row {
+            solution: "RoCC",
+            switch_action: "Compute and send rate to source",
+            source_action: "Use minimum rate received from switch(es)",
+            destination_action: "None",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn six_solutions_listed() {
+        let t = super::table1();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.last().unwrap().solution, "RoCC");
+        assert_eq!(t.last().unwrap().destination_action, "None");
+    }
+}

@@ -1,0 +1,143 @@
+//! Simulation-wide configuration.
+
+use crate::time::SimDuration;
+use crate::units::{kb, BitRate};
+
+/// Buffering/loss regime of the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferMode {
+    /// PFC keeps the fabric lossless: ingress occupancy above the pause
+    /// threshold sends PAUSE upstream (the paper's default).
+    LosslessPfc,
+    /// No PFC and no drops: switches buffer without bound (the paper's
+    /// "unlimited buffer" study, Fig. 18).
+    Unlimited,
+    /// No PFC; each egress queue drops arriving packets beyond `limit_bytes`
+    /// (the paper's lossy go-back-N study, Fig. 20 / App. A.2).
+    LossyTailDrop {
+        /// Per-egress-queue capacity.
+        limit_bytes: u64,
+    },
+}
+
+/// PFC pause/resume thresholds, per the paper: "PFC threshold values 500 KB
+/// and 800 KB for 40 Gb/s and 100 Gb/s links" (after the DeTail paper).
+#[derive(Debug, Clone, Copy)]
+pub struct PfcConfig {
+    /// Ingress occupancy at which PAUSE is sent upstream, as a function of
+    /// the *ingress* link speed: (threshold for <100G links, for ≥100G).
+    pub xoff_40g: u64,
+    /// Pause threshold for 100 Gb/s-class ingress links.
+    pub xoff_100g: u64,
+    /// RESUME is sent when occupancy falls back below `xoff * resume_frac`.
+    pub resume_frac: f64,
+}
+
+impl Default for PfcConfig {
+    fn default() -> Self {
+        PfcConfig {
+            xoff_40g: kb(500),
+            xoff_100g: kb(800),
+            resume_frac: 0.5,
+        }
+    }
+}
+
+impl PfcConfig {
+    /// Pause threshold for an ingress link of the given rate.
+    pub fn xoff_for(&self, ingress_rate: BitRate) -> u64 {
+        if ingress_rate.as_bps() >= BitRate::from_gbps(100).as_bps() {
+            self.xoff_100g
+        } else {
+            self.xoff_40g
+        }
+    }
+
+    /// Resume (XON) threshold corresponding to [`PfcConfig::xoff_for`].
+    pub fn xon_for(&self, ingress_rate: BitRate) -> u64 {
+        (self.xoff_for(ingress_rate) as f64 * self.resume_frac) as u64
+    }
+}
+
+/// Global simulation parameters (paper §6 "System parameters").
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Data packet payload size (bytes); headers are added on the wire.
+    pub mtu_payload: u64,
+    /// Buffering/loss regime.
+    pub buffer_mode: BufferMode,
+    /// PFC thresholds (used when `buffer_mode` is `LosslessPfc`).
+    pub pfc: PfcConfig,
+    /// RP reaction delay for feedback messages (paper: 15 µs): the lag
+    /// between a CNP reaching the NIC and the rate limiter applying it.
+    pub rp_feedback_delay: SimDuration,
+    /// Go-back-N retransmission timeout (idle sender with unacked data).
+    pub rto: SimDuration,
+    /// Extra fixed latency added at hosts to model a software protocol
+    /// stack + NIC batching (the DPDK "testbed" profile, Fig. 13); zero in
+    /// the clean simulation profile.
+    pub host_stack_latency: SimDuration,
+    /// Random jitter bound added on top of `host_stack_latency` (testbed
+    /// profile only; uniformly sampled in `[0, bound]`).
+    pub host_stack_jitter: SimDuration,
+    /// RNG seed for everything stochastic in the run.
+    pub seed: u64,
+    /// Feedback/control packets ride a strict-priority queue at switch
+    /// egress (the paper prioritizes CNPs, §3.3). Disable to ablate.
+    pub prioritize_control: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            mtu_payload: 1000,
+            buffer_mode: BufferMode::LosslessPfc,
+            pfc: PfcConfig::default(),
+            rp_feedback_delay: SimDuration::from_micros(15),
+            rto: SimDuration::from_millis(4),
+            host_stack_latency: SimDuration::ZERO,
+            host_stack_jitter: SimDuration::ZERO,
+            seed: 1,
+            prioritize_control: true,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The paper's "testbed" profile: protocol-stack latency and NIC
+    /// batching jitter like the DPDK deployment in §6.2.
+    pub fn testbed_profile(mut self) -> Self {
+        self.host_stack_latency = SimDuration::from_micros(8);
+        self.host_stack_jitter = SimDuration::from_micros(6);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pfc_thresholds_by_link_speed() {
+        let p = PfcConfig::default();
+        assert_eq!(p.xoff_for(BitRate::from_gbps(40)), 500_000);
+        assert_eq!(p.xoff_for(BitRate::from_gbps(10)), 500_000);
+        assert_eq!(p.xoff_for(BitRate::from_gbps(100)), 800_000);
+        assert_eq!(p.xon_for(BitRate::from_gbps(40)), 250_000);
+    }
+
+    #[test]
+    fn default_matches_paper() {
+        let c = SimConfig::default();
+        assert_eq!(c.rp_feedback_delay, SimDuration::from_micros(15));
+        assert_eq!(c.mtu_payload, 1000);
+        assert!(matches!(c.buffer_mode, BufferMode::LosslessPfc));
+    }
+
+    #[test]
+    fn testbed_profile_adds_stack_latency() {
+        let c = SimConfig::default().testbed_profile();
+        assert!(c.host_stack_latency > SimDuration::ZERO);
+        assert!(c.host_stack_jitter > SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,736 @@
+//! End-host model: NIC with per-flow rate limiters, a go-back-N reliable
+//! transport (the RoCE-style semantics the paper assumes), receiver logic
+//! that echoes congestion signals (ECN marks, timestamps, INT), and the
+//! reaction-point plumbing that delivers feedback packets to per-flow
+//! [`HostCc`] instances after the configured RP reaction delay (15 µs in
+//! the paper).
+
+use crate::cc::{AckEvent, FeedbackEvent, HostCc, HostCcCtx, RateDecision};
+use crate::engine::{Event, FlowMeta, Kernel};
+use crate::packet::{FlowId, IntStack, Packet, PacketKind};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{LinkId, NodeId, Topology};
+use crate::trace::{FctRecord, Trace};
+use crate::units::BitRate;
+use rand::Rng;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
+
+/// Timer token reserved for the transport's retransmission timeout; CC
+/// implementations may use tokens `0..=2`.
+pub const RTO_TOKEN: u8 = 3;
+/// Number of per-flow timer slots (tokens `0..TIMER_SLOTS`).
+pub const TIMER_SLOTS: usize = 4;
+
+/// Sender-side state for one flow.
+struct SenderFlow {
+    dst: NodeId,
+    /// Application bytes to transfer (`u64::MAX` = run until stopped).
+    size: u64,
+    /// Next sequence number to transmit.
+    next_seq: u64,
+    /// Cumulatively acknowledged bytes.
+    acked: u64,
+    /// Highest sequence ever sent (for retransmission accounting).
+    max_sent: u64,
+    /// Congestion control instance.
+    cc: Box<dyn HostCc>,
+    /// Optional application offered-rate cap (open-loop senders).
+    offered: Option<BitRate>,
+    /// Time and wire size of the last transmitted packet (pacing baseline).
+    last_tx: Option<(SimTime, u64)>,
+    /// Per-token timer generations; events carrying stale generations are
+    /// ignored, which implements reset/cancel.
+    timer_gen: [u64; TIMER_SLOTS],
+    /// Flow explicitly stopped (long-running flows in dynamic scenarios).
+    stopped: bool,
+    /// Where the flow sits in the TX scheduler.
+    sched: SchedState,
+    /// The eligibility instant recorded when entering `Waiting` (stale
+    /// heap entries are detected by comparing against this).
+    wait_until: SimTime,
+    /// Pacing rate at the last scheduling decision, to detect rate
+    /// increases that should shorten a pending pacing wait.
+    last_rate: BitRate,
+}
+
+/// TX scheduler membership for one flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SchedState {
+    /// Not queued: no data, window-blocked, or rate 0. Reactivated by the
+    /// event that unblocks it (ACK, feedback, timer, NACK, start).
+    Idle,
+    /// In the ready ring: believed sendable now.
+    Ready,
+    /// In the pacing heap until `wait_until`.
+    Waiting,
+}
+
+impl SenderFlow {
+    /// Bytes in flight (sent, not yet cumulatively acked).
+    fn in_flight(&self) -> u64 {
+        self.next_seq - self.acked
+    }
+
+    /// Remaining bytes the application still wants sent.
+    fn has_data(&self) -> bool {
+        !self.stopped && self.next_seq < self.size
+    }
+
+    /// Earliest time the next packet may start, pacing at `rate`.
+    fn eligible_at(&self, rate: BitRate) -> SimTime {
+        match self.last_tx {
+            None => SimTime::ZERO,
+            Some((t, bytes)) => t + rate.serialization_time(bytes),
+        }
+    }
+}
+
+/// Receiver-side state for one flow.
+#[derive(Default)]
+struct ReceiverFlow {
+    /// Next expected in-order sequence number.
+    expected: u64,
+    /// A NACK for the current gap has been sent and not yet resolved.
+    nack_armed: bool,
+    /// Flow completion already recorded.
+    complete: bool,
+}
+
+/// An end host (single NIC port).
+pub struct Host {
+    /// This host's node id.
+    pub id: NodeId,
+    uplink: LinkId,
+    line_rate: BitRate,
+    prop_delay: SimDuration,
+    busy: bool,
+    paused: bool,
+    in_flight: Option<Packet>,
+    /// Receiver-generated control packets (ACKs/NACKs) awaiting the wire;
+    /// strictly prioritized over data.
+    ctrl_q: VecDeque<Packet>,
+    flows: BTreeMap<FlowId, SenderFlow>,
+    /// Flows believed sendable now, served round-robin. O(1) per packet
+    /// instead of scanning every flow (hosts can carry hundreds of
+    /// concurrent flows in the fat-tree workloads).
+    ready: VecDeque<FlowId>,
+    /// Flows paced into the future, keyed by eligibility time.
+    waiting: BinaryHeap<Reverse<(SimTime, FlowId)>>,
+    recv: HashMap<FlowId, ReceiverFlow>,
+    /// Earliest pending wake event (dedup so we do not flood the queue).
+    wake_at: Option<SimTime>,
+}
+
+impl Host {
+    /// Build the host for `id` from the topology.
+    pub fn new(id: NodeId, topo: &Topology) -> Self {
+        let uplink = topo.out_link(id, crate::topology::PortId(0));
+        let l = topo.link(uplink);
+        Host {
+            id,
+            uplink,
+            line_rate: l.rate,
+            prop_delay: l.delay,
+            busy: false,
+            paused: false,
+            in_flight: None,
+            ctrl_q: VecDeque::new(),
+            flows: BTreeMap::new(),
+            ready: VecDeque::new(),
+            waiting: BinaryHeap::new(),
+            recv: HashMap::new(),
+            wake_at: None,
+        }
+    }
+
+    /// NIC line rate.
+    pub fn line_rate(&self) -> BitRate {
+        self.line_rate
+    }
+
+    /// Current CC rate decision for `flow`, if it is still active.
+    pub fn cc_rate(&self, flow: FlowId) -> Option<RateDecision> {
+        self.flows.get(&flow).map(|f| f.cc.decision())
+    }
+
+    /// Number of currently installed sender flows.
+    pub fn active_flows(&self) -> usize {
+        self.flows.values().filter(|f| !f.stopped).count()
+    }
+
+    /// Install a sender flow and try to start transmitting.
+    pub fn start_flow(
+        &mut self,
+        k: &mut Kernel,
+        topo: &Topology,
+        trace: &mut Trace,
+        flow: FlowId,
+        meta: &FlowMeta,
+        cc: Box<dyn HostCc>,
+    ) {
+        debug_assert_eq!(meta.src, self.id);
+        self.flows.insert(
+            flow,
+            SenderFlow {
+                dst: meta.dst,
+                size: meta.size,
+                next_seq: 0,
+                acked: 0,
+                max_sent: 0,
+                cc,
+                offered: meta.offered,
+                last_tx: None,
+                timer_gen: [0; TIMER_SLOTS],
+                stopped: false,
+                sched: SchedState::Idle,
+                wait_until: SimTime::ZERO,
+                last_rate: BitRate::ZERO,
+            },
+        );
+        self.activate(flow);
+        self.try_send(k, topo, trace);
+    }
+
+    /// Stop a long-running flow (it stops offering data immediately).
+    pub fn stop_flow(&mut self, flow: FlowId) {
+        if let Some(f) = self.flows.get_mut(&flow) {
+            f.stopped = true;
+        }
+    }
+
+    fn remove_flow(&mut self, flow: FlowId) {
+        // Stale ready/waiting entries are skipped when popped (the flow is
+        // gone from the map).
+        self.flows.remove(&flow);
+    }
+
+    fn cc_ctx(&self, k: &Kernel) -> HostCcCtx {
+        HostCcCtx {
+            now: k.now,
+            link_rate: self.line_rate,
+            set_timers: Vec::new(),
+            cancel_timers: Vec::new(),
+        }
+    }
+
+    /// Apply timer arm/cancel requests produced by a CC callback.
+    fn apply_timer_reqs(&mut self, k: &mut Kernel, flow: FlowId, ctx: HostCcCtx) {
+        let Some(f) = self.flows.get_mut(&flow) else {
+            return;
+        };
+        for token in ctx.cancel_timers {
+            let t = token as usize % TIMER_SLOTS;
+            f.timer_gen[t] = f.timer_gen[t].wrapping_add(1);
+        }
+        for (token, d) in ctx.set_timers {
+            let t = token as usize % TIMER_SLOTS;
+            f.timer_gen[t] = f.timer_gen[t].wrapping_add(1);
+            k.schedule(
+                k.now + d,
+                Event::HostCcTimer {
+                    node: self.id,
+                    flow,
+                    token: t as u8,
+                    gen: f.timer_gen[t],
+                },
+            );
+        }
+    }
+
+    fn arm_rto(&mut self, k: &mut Kernel, flow: FlowId) {
+        let rto = k.config.rto;
+        let Some(f) = self.flows.get_mut(&flow) else {
+            return;
+        };
+        let t = RTO_TOKEN as usize;
+        f.timer_gen[t] = f.timer_gen[t].wrapping_add(1);
+        k.schedule(
+            k.now + rto,
+            Event::HostCcTimer {
+                node: self.id,
+                flow,
+                token: RTO_TOKEN,
+                gen: f.timer_gen[t],
+            },
+        );
+    }
+
+    fn cancel_rto(&mut self, flow: FlowId) {
+        if let Some(f) = self.flows.get_mut(&flow) {
+            let t = RTO_TOKEN as usize;
+            f.timer_gen[t] = f.timer_gen[t].wrapping_add(1);
+        }
+    }
+
+    /// Put a flow back into the ready ring if it might be sendable (called
+    /// by the event that could have unblocked it: start, ACK, feedback,
+    /// timer, NACK). Idempotent; stale heap entries are skipped on pop.
+    fn activate(&mut self, flow: FlowId) {
+        let Some(f) = self.flows.get_mut(&flow) else {
+            return;
+        };
+        if !f.has_data() || f.sched == SchedState::Ready {
+            return;
+        }
+        f.sched = SchedState::Ready;
+        self.ready.push_back(flow);
+    }
+
+    /// Like [`Host::activate`], but also pulls the flow out of a pacing
+    /// wait when its allowed rate has increased (shorter gap than the one
+    /// recorded in the heap).
+    fn activate_on_rate_change(&mut self, flow: FlowId) {
+        let Some(f) = self.flows.get(&flow) else {
+            return;
+        };
+        if f.sched == SchedState::Waiting {
+            let rate = f.cc.decision().rate.min(self.line_rate);
+            if rate > f.last_rate {
+                // Re-evaluate now; the stale heap entry is skipped on pop.
+                let f = self.flows.get_mut(&flow).unwrap();
+                f.sched = SchedState::Ready;
+                self.ready.push_back(flow);
+                return;
+            }
+        }
+        self.activate(flow);
+    }
+
+    /// Attempt to put the next packet on the wire.
+    pub fn try_send(&mut self, k: &mut Kernel, _topo: &Topology, trace: &mut Trace) {
+        if self.busy || self.in_flight.is_some() {
+            return;
+        }
+        // Control (ACK/NACK) first — even under PFC pause these are tiny
+        // and ride the control class.
+        if let Some(pkt) = self.ctrl_q.pop_front() {
+            self.transmit(k, pkt);
+            return;
+        }
+        if self.paused {
+            return;
+        }
+        let mtu = k.config.mtu_payload;
+        loop {
+            // Release due pacing waits into the ready ring.
+            while let Some(&Reverse((t, fid))) = self.waiting.peek() {
+                if t > k.now {
+                    break;
+                }
+                self.waiting.pop();
+                if let Some(f) = self.flows.get_mut(&fid) {
+                    // Skip stale entries (flow re-queued or re-paced since).
+                    if f.sched == SchedState::Waiting && f.wait_until == t {
+                        f.sched = SchedState::Ready;
+                        self.ready.push_back(fid);
+                    }
+                }
+            }
+            let Some(fid) = self.ready.pop_front() else {
+                // Idle: wake when the earliest pacing wait matures.
+                if let Some(&Reverse((t, _))) = self.waiting.peek() {
+                    if self.wake_at.map_or(true, |w| w <= k.now || t < w) {
+                        self.wake_at = Some(t);
+                        k.schedule(t, Event::HostWake { node: self.id });
+                    }
+                }
+                return;
+            };
+            let Some(f) = self.flows.get_mut(&fid) else {
+                continue; // stale: flow completed and was removed
+            };
+            if f.sched != SchedState::Ready {
+                continue; // stale duplicate
+            }
+            if !f.has_data() {
+                f.sched = SchedState::Idle;
+                continue;
+            }
+            let d = f.cc.decision();
+            let mut rate = d.rate.min(self.line_rate);
+            if let Some(off) = f.offered {
+                rate = rate.min(off);
+            }
+            if rate == BitRate::ZERO {
+                f.sched = SchedState::Idle; // resumed by a CC event
+                continue;
+            }
+            let payload = mtu.min(f.size - f.next_seq);
+            if let Some(w) = d.window_bytes {
+                // Window gate; always admit one packet when nothing is in
+                // flight so a tiny window cannot deadlock the flow.
+                if f.in_flight() + payload > w && f.in_flight() > 0 {
+                    f.sched = SchedState::Idle; // resumed by the next ACK
+                    continue;
+                }
+            }
+            f.last_rate = rate;
+            let elig = f.eligible_at(rate);
+            if elig <= k.now {
+                f.sched = SchedState::Idle;
+                self.send_data(k, trace, fid, payload);
+                // Re-queue for its next packet (pacing into the future).
+                let Some(f) = self.flows.get_mut(&fid) else {
+                    return;
+                };
+                if f.has_data() {
+                    let next = f.eligible_at(rate);
+                    f.sched = SchedState::Waiting;
+                    f.wait_until = next;
+                    self.waiting.push(Reverse((next, fid)));
+                }
+                return; // port is busy now
+            }
+            f.sched = SchedState::Waiting;
+            f.wait_until = elig;
+            self.waiting.push(Reverse((elig, fid)));
+        }
+    }
+
+    fn send_data(&mut self, k: &mut Kernel, trace: &mut Trace, fid: FlowId, payload: u64) {
+        let f = self.flows.get_mut(&fid).expect("send_data on missing flow");
+        let seq = f.next_seq;
+        let last = f.size != u64::MAX && seq + payload == f.size;
+        let pkt = Packet {
+            flow: fid,
+            src: self.id,
+            dst: f.dst,
+            kind: PacketKind::Data { seq, payload, last },
+            ecn: false,
+            int: IntStack::new(),
+            sent_at: k.now,
+        };
+        f.next_seq += payload;
+        if f.next_seq > f.max_sent {
+            f.max_sent = f.next_seq;
+        } else {
+            trace.retx_bytes += payload;
+        }
+        trace.tx_data_bytes += payload;
+        f.last_tx = Some((k.now, pkt.wire_bytes()));
+        self.arm_rto(k, fid);
+        self.transmit(k, pkt);
+    }
+
+    /// Serialize one packet onto the uplink.
+    fn transmit(&mut self, k: &mut Kernel, pkt: Packet) {
+        let ser = self.line_rate.serialization_time(pkt.wire_bytes());
+        self.busy = true;
+        self.in_flight = Some(pkt);
+        k.schedule(k.now + ser, Event::HostTxDone { node: self.id });
+    }
+
+    /// Serialization finished: hand the packet to the uplink.
+    pub fn handle_tx_done(&mut self, k: &mut Kernel, topo: &Topology, trace: &mut Trace) {
+        let pkt = self
+            .in_flight
+            .take()
+            .expect("HostTxDone without in-flight packet");
+        self.busy = false;
+        k.schedule(
+            k.now + self.prop_delay,
+            Event::Arrive {
+                link: self.uplink,
+                pkt,
+            },
+        );
+        self.try_send(k, topo, trace);
+    }
+
+    /// Pacing wake-up.
+    pub fn handle_wake(&mut self, k: &mut Kernel, topo: &Topology, trace: &mut Trace) {
+        self.wake_at = None;
+        self.try_send(k, topo, trace);
+    }
+
+    /// A packet arrived at this host.
+    pub fn handle_arrive(
+        &mut self,
+        k: &mut Kernel,
+        topo: &Topology,
+        trace: &mut Trace,
+        flow_dir: &HashMap<FlowId, FlowMeta>,
+        pkt: Packet,
+    ) {
+        match pkt.kind {
+            PacketKind::PfcPause => {
+                self.paused = true;
+            }
+            PacketKind::PfcResume => {
+                self.paused = false;
+                self.try_send(k, topo, trace);
+            }
+            PacketKind::Data { seq, payload, last } => {
+                self.receive_data(k, topo, trace, flow_dir, &pkt, seq, payload, last);
+            }
+            PacketKind::Ack {
+                cum_seq,
+                ecn_echo,
+                data_tx_time,
+                int,
+            } => {
+                self.receive_ack(k, topo, trace, pkt.flow, cum_seq, ecn_echo, data_tx_time, int);
+            }
+            PacketKind::Nack { expected_seq } => {
+                if let Some(f) = self.flows.get_mut(&pkt.flow) {
+                    if expected_seq < f.next_seq {
+                        f.next_seq = f.acked.max(expected_seq);
+                        // Pacing baseline keeps its spacing; the rollback
+                        // itself is instantaneous.
+                    }
+                }
+                self.activate(pkt.flow);
+                self.try_send(k, topo, trace);
+            }
+            PacketKind::RoccCnp {
+                fair_rate_units,
+                cp,
+            } => {
+                self.deliver_feedback(
+                    k,
+                    pkt.flow,
+                    FeedbackEvent::RoccCnp {
+                        fair_rate_units,
+                        cp,
+                    },
+                );
+            }
+            PacketKind::RoccQueueReport {
+                q_cur_units,
+                f_max_units,
+                cp,
+            } => {
+                self.deliver_feedback(
+                    k,
+                    pkt.flow,
+                    FeedbackEvent::RoccQueueReport {
+                        q_cur_units,
+                        f_max_units,
+                        cp,
+                    },
+                );
+            }
+            PacketKind::DcqcnCnp => {
+                self.deliver_feedback(k, pkt.flow, FeedbackEvent::DcqcnCnp);
+            }
+            PacketKind::QcnFb { fb, cp } => {
+                self.deliver_feedback(k, pkt.flow, FeedbackEvent::QcnFb { fb, cp });
+            }
+        }
+    }
+
+    /// Queue a feedback packet for RP processing after the reaction delay
+    /// (paper: 15 µs), plus the host-stack latency in the testbed profile.
+    fn deliver_feedback(&mut self, k: &mut Kernel, flow: FlowId, fb: FeedbackEvent) {
+        let mut delay = k.config.rp_feedback_delay + k.config.host_stack_latency;
+        let jitter = k.config.host_stack_jitter.as_nanos();
+        if jitter > 0 {
+            delay += SimDuration::from_nanos(k.rng.gen_range(0..=jitter));
+        }
+        k.schedule(
+            k.now + delay,
+            Event::Feedback {
+                node: self.id,
+                flow,
+                fb,
+            },
+        );
+    }
+
+    /// RP-delayed feedback delivery.
+    pub fn handle_feedback(
+        &mut self,
+        k: &mut Kernel,
+        topo: &Topology,
+        trace: &mut Trace,
+        flow: FlowId,
+        fb: FeedbackEvent,
+    ) {
+        let mut ctx = self.cc_ctx(k);
+        let Some(f) = self.flows.get_mut(&flow) else {
+            return;
+        };
+        f.cc.on_feedback(&mut ctx, fb);
+        self.apply_timer_reqs(k, flow, ctx);
+        self.activate_on_rate_change(flow);
+        self.try_send(k, topo, trace);
+    }
+
+    /// A CC or transport timer fired.
+    pub fn handle_cc_timer(
+        &mut self,
+        k: &mut Kernel,
+        topo: &Topology,
+        trace: &mut Trace,
+        flow: FlowId,
+        token: u8,
+        gen: u64,
+    ) {
+        {
+            let Some(f) = self.flows.get_mut(&flow) else {
+                return;
+            };
+            let t = token as usize % TIMER_SLOTS;
+            if f.timer_gen[t] != gen {
+                return; // stale (reset or cancelled)
+            }
+            if token == RTO_TOKEN {
+                // Go-back-N timeout: roll back to the cumulative ack.
+                if f.acked < f.next_seq {
+                    f.next_seq = f.acked;
+                    let _ = f;
+                    self.arm_rto(k, flow);
+                    self.activate(flow);
+                    self.try_send(k, topo, trace);
+                }
+                return;
+            }
+        }
+        let mut ctx = self.cc_ctx(k);
+        let Some(f) = self.flows.get_mut(&flow) else {
+            return;
+        };
+        f.cc.on_timer(&mut ctx, token);
+        self.apply_timer_reqs(k, flow, ctx);
+        self.activate_on_rate_change(flow);
+        self.try_send(k, topo, trace);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn receive_data(
+        &mut self,
+        k: &mut Kernel,
+        topo: &Topology,
+        trace: &mut Trace,
+        flow_dir: &HashMap<FlowId, FlowMeta>,
+        pkt: &Packet,
+        seq: u64,
+        payload: u64,
+        last: bool,
+    ) {
+        let rf = self.recv.entry(pkt.flow).or_default();
+        if rf.complete {
+            // Duplicate of an already-finished flow (lossy-mode
+            // retransmission overlap): still ACK so the sender finishes.
+            let cum = rf.expected;
+            self.ctrl_q.push_back(Packet {
+                flow: pkt.flow,
+                src: self.id,
+                dst: pkt.src,
+                kind: PacketKind::Ack {
+                    cum_seq: cum,
+                    ecn_echo: pkt.ecn,
+                    data_tx_time: pkt.sent_at,
+                    int: pkt.int,
+                },
+                ecn: false,
+                int: IntStack::new(),
+                sent_at: k.now,
+            });
+            self.try_send(k, topo, trace);
+            return;
+        }
+        if seq == rf.expected {
+            rf.expected += payload;
+            rf.nack_armed = false;
+            trace.note_delivery(pkt.flow, payload);
+            if last {
+                rf.complete = true;
+                let meta = flow_dir.get(&pkt.flow);
+                trace.note_fct(FctRecord {
+                    flow: pkt.flow,
+                    size: rf.expected,
+                    start: meta.map(|m| m.start).unwrap_or(SimTime::ZERO),
+                    end: k.now,
+                });
+            }
+        } else if seq > rf.expected {
+            if !rf.nack_armed {
+                rf.nack_armed = true;
+                let expected = rf.expected;
+                self.ctrl_q.push_back(Packet {
+                    flow: pkt.flow,
+                    src: self.id,
+                    dst: pkt.src,
+                    kind: PacketKind::Nack {
+                        expected_seq: expected,
+                    },
+                    ecn: false,
+                    int: IntStack::new(),
+                    sent_at: k.now,
+                });
+            }
+        }
+        // Always ACK cumulatively, echoing this packet's congestion signals.
+        let cum = self.recv.get(&pkt.flow).map(|r| r.expected).unwrap_or(0);
+        self.ctrl_q.push_back(Packet {
+            flow: pkt.flow,
+            src: self.id,
+            dst: pkt.src,
+            kind: PacketKind::Ack {
+                cum_seq: cum,
+                ecn_echo: pkt.ecn,
+                data_tx_time: pkt.sent_at,
+                int: pkt.int,
+            },
+            ecn: false,
+            int: IntStack::new(),
+            sent_at: k.now,
+        });
+        self.try_send(k, topo, trace);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn receive_ack(
+        &mut self,
+        k: &mut Kernel,
+        topo: &Topology,
+        trace: &mut Trace,
+        flow: FlowId,
+        cum_seq: u64,
+        ecn_echo: bool,
+        data_tx_time: SimTime,
+        int: IntStack,
+    ) {
+        let mut completed = false;
+        {
+            let mut ctx = self.cc_ctx(k);
+            let Some(f) = self.flows.get_mut(&flow) else {
+                return;
+            };
+            let newly = cum_seq.saturating_sub(f.acked);
+            if cum_seq > f.acked {
+                f.acked = cum_seq;
+            }
+            let rtt = k.now.saturating_since(data_tx_time);
+            let ack = AckEvent {
+                newly_acked: newly,
+                cum_seq,
+                rtt,
+                ecn_echo,
+                int,
+            };
+            f.cc.on_ack(&mut ctx, ack);
+            let size = f.size;
+            let acked = f.acked;
+            let outstanding = f.next_seq > f.acked;
+            self.apply_timer_reqs(k, flow, ctx);
+            if size != u64::MAX && acked >= size {
+                completed = true;
+            } else if newly > 0 {
+                if outstanding {
+                    self.arm_rto(k, flow);
+                } else {
+                    self.cancel_rto(flow);
+                }
+            }
+        }
+        if completed {
+            self.remove_flow(flow);
+        } else {
+            self.activate_on_rate_change(flow);
+        }
+        self.try_send(k, topo, trace);
+    }
+}

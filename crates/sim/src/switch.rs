@@ -1,0 +1,435 @@
+//! Store-and-forward switch model.
+//!
+//! Each switch has one [`Port`] per attached full-duplex link. An egress
+//! port owns a FIFO data queue plus a strict-priority control queue (the
+//! paper prioritizes CNPs to minimize feedback delay, §3.3). Ingress-side
+//! byte accounting drives PFC (802.1Qbb): when the bytes buffered on behalf
+//! of an ingress port cross the XOFF threshold, a PAUSE frame is sent
+//! upstream; a RESUME follows when occupancy falls below the XON threshold.
+//! PFC frames are MAC control frames — they bypass queues entirely and are
+//! delivered after one propagation delay.
+//!
+//! A pluggable [`SwitchCc`] instance per egress port observes enqueues and
+//! dequeues (ECN marking, INT stamping) and may run a periodic timer that
+//! emits feedback packets toward flow sources (the RoCC congestion point).
+
+use crate::cc::{CtrlEmit, PacketMeta, SwitchCc, SwitchCcCtx};
+use crate::config::BufferMode;
+use crate::engine::{Event, Kernel};
+use crate::packet::{CpId, FlowId, Packet, PacketKind, PFC_FRAME_BYTES};
+use crate::time::SimTime;
+use crate::topology::{LinkId, NodeId, NodeRole, PortId, Topology};
+use crate::trace::Trace;
+use crate::units::BitRate;
+use std::collections::VecDeque;
+
+/// A packet waiting in (or leaving) an egress queue, remembering which
+/// ingress port it arrived on (None for switch-generated feedback).
+#[derive(Debug, Clone)]
+struct QueuedPacket {
+    pkt: Packet,
+    ingress: Option<PortId>,
+}
+
+/// One physical port: egress queues + transmit state.
+pub struct Port {
+    /// Strict-priority control queue (feedback packets, ACKs).
+    ctrl_q: VecDeque<QueuedPacket>,
+    /// Data FIFO.
+    data_q: VecDeque<QueuedPacket>,
+    /// Bytes currently in `data_q`.
+    qlen_bytes: u64,
+    /// True while serializing a packet.
+    busy: bool,
+    /// True after receiving PFC PAUSE from the downstream neighbor.
+    paused: bool,
+    /// Outgoing link on this port.
+    link: LinkId,
+    /// Line rate of the outgoing link.
+    rate: BitRate,
+    /// Cumulative bytes transmitted.
+    tx_bytes: u64,
+    /// Packet currently being serialized.
+    in_flight: Option<QueuedPacket>,
+    /// Congestion-control instance for this egress port.
+    cc: Box<dyn SwitchCc>,
+}
+
+impl Port {
+    /// Data-queue occupancy in bytes.
+    pub fn qlen_bytes(&self) -> u64 {
+        self.qlen_bytes
+    }
+
+    /// Cumulative bytes transmitted.
+    pub fn tx_bytes(&self) -> u64 {
+        self.tx_bytes
+    }
+
+    /// Egress line rate.
+    pub fn rate(&self) -> BitRate {
+        self.rate
+    }
+
+    /// True if this port has received PAUSE and not yet RESUME.
+    pub fn is_paused(&self) -> bool {
+        self.paused
+    }
+}
+
+/// A multi-port switch.
+pub struct Switch {
+    /// This switch's node id.
+    pub id: NodeId,
+    /// Fabric role (used by experiments to classify congestion points).
+    pub role: NodeRole,
+    ports: Vec<Port>,
+    /// Bytes buffered per ingress port (PFC accounting).
+    ingress_buffered: Vec<u64>,
+    /// True when we have PAUSEd the upstream neighbor of this ingress port.
+    sent_xoff: Vec<bool>,
+}
+
+impl Switch {
+    /// Build a switch for `id` from the topology, instantiating one CC per
+    /// egress port via `make_cc`.
+    pub fn new(
+        id: NodeId,
+        topo: &Topology,
+        mut make_cc: impl FnMut(CpId, BitRate) -> Box<dyn SwitchCc>,
+    ) -> Self {
+        let info = topo.node(id);
+        let ports = info
+            .out_links
+            .iter()
+            .enumerate()
+            .map(|(p, &link)| {
+                let rate = topo.link(link).rate;
+                Port {
+                    ctrl_q: VecDeque::new(),
+                    data_q: VecDeque::new(),
+                    qlen_bytes: 0,
+                    busy: false,
+                    paused: false,
+                    link,
+                    rate,
+                    tx_bytes: 0,
+                    in_flight: None,
+                    cc: make_cc(
+                        CpId {
+                            node: id,
+                            port: PortId(p),
+                        },
+                        rate,
+                    ),
+                }
+            })
+            .collect::<Vec<_>>();
+        let n = ports.len();
+        Switch {
+            id,
+            role: info.role,
+            ports,
+            ingress_buffered: vec![0; n],
+            sent_xoff: vec![false; n],
+        }
+    }
+
+    /// Port accessor (for sampling).
+    pub fn port(&self, p: PortId) -> &Port {
+        &self.ports[p.0]
+    }
+
+    /// Number of ports.
+    pub fn port_count(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Timer period requested by the CC on `port`, if any.
+    pub fn cc_timer_period(&self, p: PortId) -> Option<crate::time::SimDuration> {
+        self.ports[p.0].cc.timer_period()
+    }
+
+    fn cc_ctx<'a>(&self, k: &'a mut Kernel, p: PortId) -> SwitchCcCtx<'a> {
+        let port = &self.ports[p.0];
+        SwitchCcCtx {
+            now: k.now,
+            cp: CpId {
+                node: self.id,
+                port: p,
+            },
+            qlen_bytes: port.qlen_bytes,
+            link_rate: port.rate,
+            tx_bytes: port.tx_bytes,
+            rng: &mut k.rng,
+            emits: Vec::new(),
+        }
+    }
+
+    /// A packet arrived on `in_port`.
+    pub fn handle_arrive(
+        &mut self,
+        k: &mut Kernel,
+        topo: &Topology,
+        trace: &mut Trace,
+        in_port: PortId,
+        pkt: Packet,
+    ) {
+        match pkt.kind {
+            PacketKind::PfcPause => {
+                self.ports[in_port.0].paused = true;
+            }
+            PacketKind::PfcResume => {
+                self.ports[in_port.0].paused = false;
+                self.try_start_tx(k, topo, trace, in_port);
+            }
+            _ => {
+                let Some(egress) = topo.route(self.id, pkt.dst, pkt.flow) else {
+                    // Unroutable packets are silently dropped (should not
+                    // happen in well-formed experiments).
+                    trace.drops += 1;
+                    return;
+                };
+                self.enqueue(k, topo, trace, egress, Some(in_port), pkt);
+            }
+        }
+    }
+
+    /// Append `pkt` to the egress queue on `egress`, running CC hooks, PFC
+    /// accounting, and (in lossy mode) tail-drop.
+    fn enqueue(
+        &mut self,
+        k: &mut Kernel,
+        topo: &Topology,
+        trace: &mut Trace,
+        egress: PortId,
+        ingress: Option<PortId>,
+        mut pkt: Packet,
+    ) {
+        let wire = pkt.wire_bytes();
+        let is_ctrl = pkt.kind.is_control();
+        if is_ctrl && k.config.prioritize_control {
+            self.ports[egress.0].ctrl_q.push_back(QueuedPacket { pkt, ingress });
+            self.try_start_tx(k, topo, trace, egress);
+            return;
+        }
+
+        // Data path (and un-prioritized control when ablated): loss / ECN /
+        // PFC logic. CC hooks and PFC accounting apply to data only.
+        if let BufferMode::LossyTailDrop { limit_bytes } = k.config.buffer_mode {
+            if self.ports[egress.0].qlen_bytes + wire > limit_bytes {
+                trace.drops += 1;
+                return;
+            }
+        }
+
+        self.ports[egress.0].qlen_bytes += wire;
+        trace.note_queue_depth(self.id, egress, self.ports[egress.0].qlen_bytes);
+
+        if !is_ctrl {
+            // CC enqueue hook (ECN marking, flow-table update, QCN sampling).
+            let meta = PacketMeta {
+                flow: pkt.flow,
+                src: pkt.src,
+                wire_bytes: wire,
+            };
+            let mut ctx = self.cc_ctx(k, egress);
+            let mark = self.ports[egress.0].cc.on_enqueue(&mut ctx, meta);
+            let emits = std::mem::take(&mut ctx.emits);
+            if mark {
+                pkt.ecn = true;
+            }
+            self.inject_feedback(k, topo, trace, emits);
+        }
+
+        // PFC ingress accounting.
+        if let (BufferMode::LosslessPfc, Some(ing)) = (k.config.buffer_mode, ingress) {
+            self.ingress_buffered[ing.0] += wire;
+            let in_rate = topo.link(topo.node(self.id).in_links[ing.0]).rate;
+            let xoff = k.config.pfc.xoff_for(in_rate);
+            if self.ingress_buffered[ing.0] > xoff && !self.sent_xoff[ing.0] {
+                self.sent_xoff[ing.0] = true;
+                trace.note_pfc(k.now, self.id, ing);
+                self.send_pfc(k, topo, ing, PacketKind::PfcPause);
+            }
+        }
+
+        self.ports[egress.0].data_q.push_back(QueuedPacket { pkt, ingress });
+        self.try_start_tx(k, topo, trace, egress);
+    }
+
+    /// Send a PFC frame out of port `p` (bypassing queues: MAC control).
+    fn send_pfc(&self, k: &mut Kernel, topo: &Topology, p: PortId, kind: PacketKind) {
+        let port = &self.ports[p.0];
+        let link = topo.link(port.link);
+        let ser = port.rate.serialization_time(PFC_FRAME_BYTES);
+        let pkt = Packet {
+            flow: FlowId(u64::MAX),
+            src: self.id,
+            dst: link.to.0,
+            kind,
+            ecn: false,
+            int: Default::default(),
+            sent_at: k.now,
+        };
+        k.schedule(k.now + ser + link.delay, Event::Arrive { link: port.link, pkt });
+    }
+
+    /// Route switch-generated feedback packets (RoCC CNPs, QCN Fb) toward
+    /// the flow sources. They enter this switch's own egress control queue.
+    fn inject_feedback(
+        &mut self,
+        k: &mut Kernel,
+        topo: &Topology,
+        trace: &mut Trace,
+        emits: Vec<CtrlEmit>,
+    ) {
+        for e in emits {
+            let pkt = Packet {
+                flow: e.flow,
+                src: self.id,
+                dst: e.to,
+                kind: e.kind,
+                ecn: false,
+                int: Default::default(),
+                sent_at: k.now,
+            };
+            let Some(egress) = topo.route(self.id, e.to, e.flow) else {
+                trace.drops += 1;
+                continue;
+            };
+            trace.ctrl_emitted += 1;
+            self.ports[egress.0]
+                .ctrl_q
+                .push_back(QueuedPacket { pkt, ingress: None });
+            self.try_start_tx(k, topo, trace, egress);
+        }
+    }
+
+    /// Begin serializing the next packet on `p` if the port is idle.
+    fn try_start_tx(&mut self, k: &mut Kernel, topo: &Topology, trace: &mut Trace, p: PortId) {
+        if self.ports[p.0].busy || self.ports[p.0].in_flight.is_some() {
+            return;
+        }
+        // Control first; PFC pause gates only the data class.
+        let qp = if let Some(qp) = self.ports[p.0].ctrl_q.pop_front() {
+            Some(qp)
+        } else if !self.ports[p.0].paused {
+            self.ports[p.0].data_q.pop_front().map(|mut qp| {
+                let wire = qp.pkt.wire_bytes();
+                self.ports[p.0].qlen_bytes -= wire;
+                if qp.pkt.is_data() {
+                    // CC dequeue hook (INT stamping) sees post-dequeue depth.
+                    let meta = PacketMeta {
+                        flow: qp.pkt.flow,
+                        src: qp.pkt.src,
+                        wire_bytes: wire,
+                    };
+                    let mut ctx = self.cc_ctx(k, p);
+                    let hop = self.ports[p.0].cc.on_dequeue(&mut ctx, meta);
+                    let emits = std::mem::take(&mut ctx.emits);
+                    if let Some(h) = hop {
+                        qp.pkt.int.push(h);
+                    }
+                    self.inject_feedback(k, topo, trace, emits);
+                }
+                // Release PFC accounting.
+                if let Some(ing) = qp.ingress {
+                    let b = &mut self.ingress_buffered[ing.0];
+                    *b = b.saturating_sub(wire);
+                    if self.sent_xoff[ing.0] {
+                        let in_rate =
+                            topo.link(topo.node(self.id).in_links[ing.0]).rate;
+                        if *b < k.config.pfc.xon_for(in_rate) {
+                            self.sent_xoff[ing.0] = false;
+                            self.send_pfc(k, topo, ing, PacketKind::PfcResume);
+                        }
+                    }
+                }
+                qp
+            })
+        } else {
+            None
+        };
+        let Some(qp) = qp else { return };
+        let ser = self.ports[p.0].rate.serialization_time(qp.pkt.wire_bytes());
+        self.ports[p.0].busy = true;
+        self.ports[p.0].in_flight = Some(qp);
+        k.schedule(
+            k.now + ser,
+            Event::SwitchTxDone {
+                node: self.id,
+                port: p,
+            },
+        );
+    }
+
+    /// Serialization finished on `p`: hand the packet to the link.
+    pub fn handle_tx_done(
+        &mut self,
+        k: &mut Kernel,
+        topo: &Topology,
+        trace: &mut Trace,
+        p: PortId,
+    ) {
+        let qp = self.ports[p.0]
+            .in_flight
+            .take()
+            .expect("TxDone without in-flight packet");
+        let wire = qp.pkt.wire_bytes();
+        self.ports[p.0].tx_bytes += wire;
+        self.ports[p.0].busy = false;
+        let link = self.ports[p.0].link;
+        let delay = topo.link(link).delay;
+        k.schedule(k.now + delay, Event::Arrive { link, pkt: qp.pkt });
+        self.try_start_tx(k, topo, trace, p);
+    }
+
+    /// Periodic CC timer fired for `p` (RoCC's fair-rate computation).
+    pub fn handle_cc_timer(
+        &mut self,
+        k: &mut Kernel,
+        topo: &Topology,
+        trace: &mut Trace,
+        p: PortId,
+    ) {
+        let mut ctx = self.cc_ctx(k, p);
+        self.ports[p.0].cc.on_timer(&mut ctx);
+        let emits = std::mem::take(&mut ctx.emits);
+        self.inject_feedback(k, topo, trace, emits);
+        if let Some(period) = self.ports[p.0].cc.timer_period() {
+            k.schedule(
+                k.now + period,
+                Event::CpTimer {
+                    node: self.id,
+                    port: p,
+                },
+            );
+        }
+    }
+
+    /// Exact simulation-time snapshot of a port's state (sampling support).
+    pub fn snapshot(&self, p: PortId) -> (u64, u64) {
+        (self.ports[p.0].qlen_bytes, self.ports[p.0].tx_bytes)
+    }
+
+    /// Schedule initial CC timers (called once by the engine at t=0 with a
+    /// deterministic phase offset so all ports don't fire in lockstep).
+    pub fn schedule_cc_timers(&self, k: &mut Kernel, _now: SimTime) {
+        for p in 0..self.ports.len() {
+            if let Some(period) = self.ports[p].cc.timer_period() {
+                // Stagger by port index to avoid synchronized bursts of CNPs.
+                let phase = crate::time::SimDuration::from_nanos(
+                    period.as_nanos() * (p as u64 % 7) / 7,
+                );
+                k.schedule(
+                    k.now + period + phase,
+                    Event::CpTimer {
+                        node: self.id,
+                        port: PortId(p),
+                    },
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Run instrumentation: queue-depth samplers, flow rates, PFC counters,
+//! flow-completion records.
+//!
+//! Experiments register what they want observed before the run; the engine
+//! feeds the trace during the run; afterwards the experiment reads the
+//! collected series. All counters are exact (event-driven); samplers are
+//! periodic snapshots.
+
+use crate::packet::FlowId;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{NodeId, PortId};
+use std::collections::HashMap;
+
+/// One point of a sampled time series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Sample timestamp.
+    pub t: SimTime,
+    /// Sampled value (bytes for queues, bits/s for rates).
+    pub v: f64,
+}
+
+/// A flow's completion record.
+#[derive(Debug, Clone, Copy)]
+pub struct FctRecord {
+    /// The flow.
+    pub flow: FlowId,
+    /// Application bytes transferred.
+    pub size: u64,
+    /// First-packet send time.
+    pub start: SimTime,
+    /// Last-byte arrival time at the receiver.
+    pub end: SimTime,
+}
+
+impl FctRecord {
+    /// Flow completion time.
+    pub fn fct(&self) -> SimDuration {
+        self.end.saturating_since(self.start)
+    }
+}
+
+/// One PFC pause event.
+#[derive(Debug, Clone, Copy)]
+pub struct PfcEvent {
+    /// When the PAUSE was generated.
+    pub t: SimTime,
+    /// Switch that generated it.
+    pub node: NodeId,
+    /// Ingress port whose occupancy crossed the threshold.
+    pub port: PortId,
+}
+
+/// Everything recorded during one run.
+#[derive(Debug, Default)]
+pub struct Trace {
+    /// Ports whose egress data-queue depth is sampled.
+    watched_queues: Vec<(NodeId, PortId)>,
+    /// Sampled queue series, parallel to `watched_queues`.
+    pub queue_series: Vec<Vec<Sample>>,
+    /// Flows whose goodput (receiver-side delivery rate) is sampled.
+    watched_flows: Vec<FlowId>,
+    /// Sampled goodput series (bits/s), parallel to `watched_flows`.
+    pub flow_rate_series: Vec<Vec<Sample>>,
+    /// Receiver-side cumulative delivered bytes per watched flow.
+    delivered: HashMap<FlowId, u64>,
+    delivered_at_last_sample: Vec<u64>,
+    /// Ports whose egress throughput is sampled.
+    watched_ports: Vec<(NodeId, PortId)>,
+    /// Sampled throughput series (bits/s), parallel to `watched_ports`.
+    pub port_tput_series: Vec<Vec<Sample>>,
+    tx_at_last_sample: Vec<u64>,
+    /// Sampling period; `None` disables periodic sampling.
+    pub sample_period: Option<SimDuration>,
+    /// All PFC pause events.
+    pub pfc_events: Vec<PfcEvent>,
+    /// Completed flows.
+    pub fcts: Vec<FctRecord>,
+    /// Total data bytes retransmitted (go-back-N rollbacks).
+    pub retx_bytes: u64,
+    /// Total data bytes transmitted by senders (including retransmissions).
+    pub tx_data_bytes: u64,
+    /// Total feedback packets (RoCC CNPs / QCN Fb) emitted by switches.
+    pub ctrl_emitted: u64,
+    /// Total packets dropped at switches (lossy mode).
+    pub drops: u64,
+    /// Peak egress-queue depth observed per watched queue (exact, not
+    /// sampled), parallel to `watched_queues`.
+    pub queue_peak: Vec<u64>,
+    /// Sum of per-sample queue depths for all switch egress ports keyed by
+    /// (node, port) — exact time-weighted accounting is done by the caller
+    /// via sampling; this map holds cumulative (sum, count) per port.
+    pub queue_avg_acc: HashMap<(NodeId, PortId), (f64, u64)>,
+    /// Ports whose average queue should be accumulated at every sample tick.
+    watched_avg_ports: Vec<(NodeId, PortId)>,
+    /// Stop accumulating queue averages after this instant (e.g. the end
+    /// of a workload's arrival window, so drain phases don't dilute them).
+    pub avg_until: Option<SimTime>,
+    /// Per-flow sender-side current CC rate samples (bits/s), if watched.
+    watched_cc_flows: Vec<FlowId>,
+    /// Sampled CC-rate series, parallel to `watched_cc_flows`.
+    pub cc_rate_series: Vec<Vec<Sample>>,
+}
+
+impl Trace {
+    /// New, empty trace with no sampling.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Enable periodic sampling with the given period.
+    pub fn with_sample_period(mut self, p: SimDuration) -> Self {
+        self.sample_period = Some(p);
+        self
+    }
+
+    /// Watch an egress data queue (sampled series + exact peak).
+    pub fn watch_queue(&mut self, node: NodeId, port: PortId) {
+        self.watched_queues.push((node, port));
+        self.queue_series.push(Vec::new());
+        self.queue_peak.push(0);
+    }
+
+    /// Watch a flow's receiver-side goodput.
+    pub fn watch_flow_rate(&mut self, flow: FlowId) {
+        self.watched_flows.push(flow);
+        self.flow_rate_series.push(Vec::new());
+        self.delivered_at_last_sample.push(0);
+    }
+
+    /// Watch an egress port's throughput.
+    pub fn watch_port_tput(&mut self, node: NodeId, port: PortId) {
+        self.watched_ports.push((node, port));
+        self.port_tput_series.push(Vec::new());
+        self.tx_at_last_sample.push(0);
+    }
+
+    /// Accumulate the long-run average depth of a queue.
+    pub fn watch_queue_avg(&mut self, node: NodeId, port: PortId) {
+        self.watched_avg_ports.push((node, port));
+        self.queue_avg_acc.insert((node, port), (0.0, 0));
+    }
+
+    /// Watch a sender flow's instantaneous CC rate.
+    pub fn watch_cc_rate(&mut self, flow: FlowId) {
+        self.watched_cc_flows.push(flow);
+        self.cc_rate_series.push(Vec::new());
+    }
+
+    /// Watched queue list (engine-facing).
+    pub fn watched_queues(&self) -> &[(NodeId, PortId)] {
+        &self.watched_queues
+    }
+
+    /// Watched throughput-port list (engine-facing).
+    pub fn watched_ports(&self) -> &[(NodeId, PortId)] {
+        &self.watched_ports
+    }
+
+    /// Watched average-queue port list (engine-facing).
+    pub fn watched_avg_ports(&self) -> &[(NodeId, PortId)] {
+        &self.watched_avg_ports
+    }
+
+    /// Watched goodput flows (engine-facing).
+    pub fn watched_flows(&self) -> &[FlowId] {
+        &self.watched_flows
+    }
+
+    /// Watched CC-rate flows (engine-facing).
+    pub fn watched_cc_flows(&self) -> &[FlowId] {
+        &self.watched_cc_flows
+    }
+
+    /// Record a queue-depth sample for watched queue `idx`.
+    pub fn record_queue_sample(&mut self, idx: usize, t: SimTime, bytes: u64) {
+        self.queue_series[idx].push(Sample {
+            t,
+            v: bytes as f64,
+        });
+    }
+
+    /// Record exact queue peak (called on every enqueue by the engine).
+    pub fn note_queue_depth(&mut self, node: NodeId, port: PortId, bytes: u64) {
+        for (i, &(n, p)) in self.watched_queues.iter().enumerate() {
+            if n == node && p == port && bytes > self.queue_peak[i] {
+                self.queue_peak[i] = bytes;
+            }
+        }
+    }
+
+    /// Accumulate an average-queue sample (ignored past [`Trace::avg_until`]).
+    pub fn record_queue_avg(&mut self, t: SimTime, node: NodeId, port: PortId, bytes: u64) {
+        if let Some(cut) = self.avg_until {
+            if t > cut {
+                return;
+            }
+        }
+        if let Some(e) = self.queue_avg_acc.get_mut(&(node, port)) {
+            e.0 += bytes as f64;
+            e.1 += 1;
+        }
+    }
+
+    /// Long-run average queue depth of a watched port, in bytes.
+    pub fn queue_avg(&self, node: NodeId, port: PortId) -> Option<f64> {
+        self.queue_avg_acc
+            .get(&(node, port))
+            .map(|(s, c)| if *c == 0 { 0.0 } else { s / *c as f64 })
+    }
+
+    /// Record receiver-side delivery of `bytes` for `flow`.
+    pub fn note_delivery(&mut self, flow: FlowId, bytes: u64) {
+        *self.delivered.entry(flow).or_insert(0) += bytes;
+    }
+
+    /// Take a goodput sample for every watched flow (engine, on sample tick).
+    pub fn sample_flow_rates(&mut self, t: SimTime, period: SimDuration) {
+        let secs = period.as_secs_f64();
+        for (i, f) in self.watched_flows.iter().enumerate() {
+            let cur = self.delivered.get(f).copied().unwrap_or(0);
+            let delta = cur - self.delivered_at_last_sample[i];
+            self.delivered_at_last_sample[i] = cur;
+            self.flow_rate_series[i].push(Sample {
+                t,
+                v: delta as f64 * 8.0 / secs,
+            });
+        }
+    }
+
+    /// Take a throughput sample for watched port `idx` given its cumulative
+    /// tx byte counter.
+    pub fn sample_port_tput(
+        &mut self,
+        idx: usize,
+        t: SimTime,
+        tx_bytes: u64,
+        period: SimDuration,
+    ) {
+        let delta = tx_bytes - self.tx_at_last_sample[idx];
+        self.tx_at_last_sample[idx] = delta + self.tx_at_last_sample[idx];
+        self.port_tput_series[idx].push(Sample {
+            t,
+            v: delta as f64 * 8.0 / period.as_secs_f64(),
+        });
+    }
+
+    /// Record a CC-rate sample for watched flow index `idx`.
+    pub fn record_cc_rate(&mut self, idx: usize, t: SimTime, bps: f64) {
+        self.cc_rate_series[idx].push(Sample { t, v: bps });
+    }
+
+    /// Record a PFC pause event.
+    pub fn note_pfc(&mut self, t: SimTime, node: NodeId, port: PortId) {
+        self.pfc_events.push(PfcEvent { t, node, port });
+    }
+
+    /// Record a completed flow.
+    pub fn note_fct(&mut self, rec: FctRecord) {
+        self.fcts.push(rec);
+    }
+
+    /// Total delivered bytes for a flow (receiver side).
+    pub fn delivered_bytes(&self, flow: FlowId) -> u64 {
+        self.delivered.get(&flow).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fct_record_duration() {
+        let r = FctRecord {
+            flow: FlowId(1),
+            size: 1000,
+            start: SimTime::from_micros(10),
+            end: SimTime::from_micros(110),
+        };
+        assert_eq!(r.fct(), SimDuration::from_micros(100));
+    }
+
+    #[test]
+    fn goodput_sampling() {
+        let mut tr = Trace::new();
+        tr.watch_flow_rate(FlowId(1));
+        tr.note_delivery(FlowId(1), 125_000); // 1 Mbit
+        tr.sample_flow_rates(SimTime::from_millis(1), SimDuration::from_millis(1));
+        assert!((tr.flow_rate_series[0][0].v - 1e9).abs() < 1.0);
+        // Next window delivers nothing.
+        tr.sample_flow_rates(SimTime::from_millis(2), SimDuration::from_millis(1));
+        assert_eq!(tr.flow_rate_series[0][1].v, 0.0);
+    }
+
+    #[test]
+    fn queue_peak_tracking() {
+        let mut tr = Trace::new();
+        tr.watch_queue(NodeId(3), PortId(1));
+        tr.note_queue_depth(NodeId(3), PortId(1), 100);
+        tr.note_queue_depth(NodeId(3), PortId(1), 50);
+        tr.note_queue_depth(NodeId(9), PortId(1), 999); // unwatched
+        assert_eq!(tr.queue_peak[0], 100);
+    }
+
+    #[test]
+    fn queue_average_accumulation() {
+        let mut tr = Trace::new();
+        tr.watch_queue_avg(NodeId(0), PortId(0));
+        tr.record_queue_avg(SimTime::ZERO, NodeId(0), PortId(0), 100);
+        tr.record_queue_avg(SimTime::ZERO, NodeId(0), PortId(0), 300);
+        assert_eq!(tr.queue_avg(NodeId(0), PortId(0)), Some(200.0));
+        assert_eq!(tr.queue_avg(NodeId(1), PortId(0)), None);
+        // Samples past the cutoff are ignored.
+        tr.avg_until = Some(SimTime::from_micros(1));
+        tr.record_queue_avg(SimTime::from_micros(2), NodeId(0), PortId(0), 900);
+        assert_eq!(tr.queue_avg(NodeId(0), PortId(0)), Some(200.0));
+    }
+}

@@ -1,0 +1,195 @@
+//! Bandwidth and byte-size units.
+//!
+//! Rates are stored in bits per second so that the paper's parameters
+//! (ΔF = 10 Mb/s, link speeds of 10/40/100 Gb/s) are exactly representable.
+
+use crate::time::SimDuration;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A transmission rate in bits per second.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BitRate(u64);
+
+impl BitRate {
+    /// Zero rate (a fully throttled flow).
+    pub const ZERO: BitRate = BitRate(0);
+
+    /// Construct from bits per second.
+    pub const fn from_bps(bps: u64) -> Self {
+        BitRate(bps)
+    }
+
+    /// Construct from megabits per second (decimal, 10^6).
+    pub const fn from_mbps(mbps: u64) -> Self {
+        BitRate(mbps * 1_000_000)
+    }
+
+    /// Construct from gigabits per second (decimal, 10^9).
+    pub const fn from_gbps(gbps: u64) -> Self {
+        BitRate(gbps * 1_000_000_000)
+    }
+
+    /// Rate in bits per second.
+    pub const fn as_bps(self) -> u64 {
+        self.0
+    }
+
+    /// Rate in fractional Mb/s (reporting only).
+    pub fn as_mbps_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Rate in fractional Gb/s (reporting only).
+    pub fn as_gbps_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Time to serialize `bytes` at this rate, rounded up to whole
+    /// nanoseconds so back-to-back packets never overlap on the wire.
+    ///
+    /// Panics if the rate is zero — a zero-rate sender must not serialize.
+    pub fn serialization_time(self, bytes: u64) -> SimDuration {
+        assert!(self.0 > 0, "cannot serialize at zero rate");
+        let bits = bytes * 8;
+        // ceil(bits * 1e9 / rate) using u128 to avoid overflow.
+        let ns = ((bits as u128) * 1_000_000_000 + (self.0 as u128 - 1)) / self.0 as u128;
+        SimDuration::from_nanos(ns as u64)
+    }
+
+    /// Number of bytes transferred at this rate over `dur` (floor).
+    pub fn bytes_over(self, dur: SimDuration) -> u64 {
+        ((self.0 as u128 * dur.as_nanos() as u128) / (8 * 1_000_000_000)) as u64
+    }
+
+    /// Saturating doubling (used by fast-recovery style rate increases).
+    pub fn saturating_double(self) -> Self {
+        BitRate(self.0.saturating_mul(2))
+    }
+
+    /// Halve the rate (integer division).
+    pub fn halved(self) -> Self {
+        BitRate(self.0 / 2)
+    }
+
+    /// Scale by a float factor, clamping to non-negative.
+    pub fn scale(self, factor: f64) -> Self {
+        assert!(factor.is_finite(), "invalid rate scale {factor}");
+        let v = (self.0 as f64 * factor).max(0.0);
+        BitRate(v.round() as u64)
+    }
+
+    /// Component-wise min.
+    pub fn min(self, other: Self) -> Self {
+        BitRate(self.0.min(other.0))
+    }
+
+    /// Component-wise max.
+    pub fn max(self, other: Self) -> Self {
+        BitRate(self.0.max(other.0))
+    }
+}
+
+impl Add for BitRate {
+    type Output = BitRate;
+    fn add(self, rhs: BitRate) -> BitRate {
+        BitRate(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for BitRate {
+    fn add_assign(&mut self, rhs: BitRate) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for BitRate {
+    type Output = BitRate;
+    fn sub(self, rhs: BitRate) -> BitRate {
+        BitRate(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for BitRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.2}Gb/s", self.as_gbps_f64())
+        } else {
+            write!(f, "{:.1}Mb/s", self.as_mbps_f64())
+        }
+    }
+}
+
+/// Byte-size helpers matching the paper's KB-denominated thresholds
+/// (the paper uses decimal KB: Qref = 150 KB = 150,000 B).
+pub const fn kb(n: u64) -> u64 {
+    n * 1_000
+}
+
+/// Decimal megabytes.
+pub const fn mb(n: u64) -> u64 {
+    n * 1_000_000
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_times_match_link_speeds() {
+        // 1000 B at 40 Gb/s = 200 ns; at 100 Gb/s = 80 ns; at 10 Gb/s = 800 ns.
+        assert_eq!(
+            BitRate::from_gbps(40).serialization_time(1000).as_nanos(),
+            200
+        );
+        assert_eq!(
+            BitRate::from_gbps(100).serialization_time(1000).as_nanos(),
+            80
+        );
+        assert_eq!(
+            BitRate::from_gbps(10).serialization_time(1000).as_nanos(),
+            800
+        );
+    }
+
+    #[test]
+    fn serialization_rounds_up() {
+        // 1 byte at 3 bps: 8/3 s = 2.666..e9 ns -> rounded up.
+        let d = BitRate::from_bps(3).serialization_time(1);
+        assert_eq!(d.as_nanos(), 2_666_666_667);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero rate")]
+    fn zero_rate_serialization_panics() {
+        BitRate::ZERO.serialization_time(100);
+    }
+
+    #[test]
+    fn bytes_over_window() {
+        // 40 Gb/s over 1 ms = 5,000,000 B.
+        let b = BitRate::from_gbps(40).bytes_over(SimDuration::from_millis(1));
+        assert_eq!(b, 5_000_000);
+    }
+
+    #[test]
+    fn scaling_ops() {
+        let r = BitRate::from_gbps(4);
+        assert_eq!(r.halved(), BitRate::from_gbps(2));
+        assert_eq!(r.saturating_double(), BitRate::from_gbps(8));
+        assert_eq!(r.scale(0.5), BitRate::from_gbps(2));
+        assert_eq!(BitRate::from_mbps(10).scale(1.5), BitRate::from_mbps(15));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", BitRate::from_gbps(40)), "40.00Gb/s");
+        assert_eq!(format!("{}", BitRate::from_mbps(333)), "333.0Mb/s");
+    }
+
+    #[test]
+    fn size_helpers_are_decimal() {
+        assert_eq!(kb(150), 150_000);
+        assert_eq!(mb(2), 2_000_000);
+    }
+}

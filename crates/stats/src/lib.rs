@@ -1,0 +1,223 @@
+//! # rocc-stats — statistics for network experiments
+//!
+//! Percentiles, means with confidence intervals over repeated runs,
+//! flow-size binning (the paper reports FCT per flow-size bin with 95% CIs
+//! over 5 repetitions), and Jain's fairness index.
+
+#![warn(missing_docs)]
+
+/// Summary statistics of one sample set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Summarize a sample set. Returns `None` for empty input.
+pub fn summarize(xs: &[f64]) -> Option<Summary> {
+    if xs.is_empty() {
+        return None;
+    }
+    let n = xs.len();
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+    let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &x in xs {
+        min = min.min(x);
+        max = max.max(x);
+    }
+    Some(Summary {
+        n,
+        mean,
+        std_dev: var.sqrt(),
+        min,
+        max,
+    })
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) by linear interpolation on the sorted
+/// sample (type-7, the common default). Returns `None` for empty input.
+pub fn percentile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        return Some(v[lo]);
+    }
+    let f = pos - lo as f64;
+    Some(v[lo] * (1.0 - f) + v[hi] * f)
+}
+
+/// Two-sided Student-t critical values at 95% for small n (the paper runs
+/// 5 repetitions → 4 degrees of freedom → t = 2.776).
+fn t_critical_95(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= TABLE.len() {
+        TABLE[df - 1]
+    } else {
+        1.96
+    }
+}
+
+/// A mean with a 95% confidence half-width over independent repetitions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanCi {
+    /// Mean over repetitions.
+    pub mean: f64,
+    /// 95% confidence half-width (± this).
+    pub ci95: f64,
+    /// Number of repetitions.
+    pub n: usize,
+}
+
+/// Mean ± 95% CI across per-repetition values (Student t, as appropriate
+/// for the paper's 5 repetitions).
+pub fn mean_ci95(reps: &[f64]) -> Option<MeanCi> {
+    if reps.is_empty() {
+        return None;
+    }
+    let n = reps.len();
+    let mean = reps.iter().sum::<f64>() / n as f64;
+    if n == 1 {
+        return Some(MeanCi {
+            mean,
+            ci95: 0.0,
+            n,
+        });
+    }
+    let var = reps.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+    let se = (var / n as f64).sqrt();
+    Some(MeanCi {
+        mean,
+        ci95: t_critical_95(n - 1) * se,
+        n,
+    })
+}
+
+/// Assign `size` to the paper-style bin: the first edge ≥ size (values
+/// beyond the last edge land in the last bin).
+pub fn bin_index(edges: &[u64], size: u64) -> usize {
+    for (i, &e) in edges.iter().enumerate() {
+        if size <= e {
+            return i;
+        }
+    }
+    edges.len() - 1
+}
+
+/// Group values by flow-size bin: `(size, value)` pairs → per-bin vectors.
+pub fn bin_values(edges: &[u64], items: impl IntoIterator<Item = (u64, f64)>) -> Vec<Vec<f64>> {
+    let mut out = vec![Vec::new(); edges.len()];
+    for (size, v) in items {
+        out[bin_index(edges, size)].push(v);
+    }
+    out
+}
+
+/// Jain's fairness index: (Σx)² / (n·Σx²); 1.0 = perfectly fair.
+pub fn jain_fairness(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let s: f64 = xs.iter().sum();
+    let s2: f64 = xs.iter().map(|x| x * x).sum();
+    if s2 == 0.0 {
+        return Some(1.0);
+    }
+    Some(s * s / (xs.len() as f64 * s2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.n, 4);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.std_dev - 1.118).abs() < 1e-3);
+        assert!(summarize(&[]).is_none());
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 1.0), Some(4.0));
+        assert_eq!(percentile(&xs, 0.5), Some(2.5));
+        assert_eq!(percentile(&xs, 0.25), Some(1.75));
+    }
+
+    #[test]
+    fn p99_on_large_sample() {
+        let xs: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        let p99 = percentile(&xs, 0.99).unwrap();
+        assert!((p99 - 990.01).abs() < 0.02);
+    }
+
+    #[test]
+    fn ci_for_five_reps_uses_t4() {
+        // Paper setup: 5 repetitions, 95% CI → t = 2.776.
+        let r = mean_ci95(&[10.0, 11.0, 9.0, 10.5, 9.5]).unwrap();
+        assert_eq!(r.n, 5);
+        assert!((r.mean - 10.0).abs() < 1e-12);
+        let sd: f64 = 0.625f64.sqrt(); // sample variance 0.625
+        let expect = 2.776 * sd / 5f64.sqrt();
+        assert!((r.ci95 - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ci_single_rep_is_zero() {
+        let r = mean_ci95(&[3.0]).unwrap();
+        assert_eq!(r.ci95, 0.0);
+    }
+
+    #[test]
+    fn binning_matches_paper_convention() {
+        let edges = [10_000u64, 20_000, 30_000];
+        assert_eq!(bin_index(&edges, 500), 0);
+        assert_eq!(bin_index(&edges, 10_000), 0);
+        assert_eq!(bin_index(&edges, 10_001), 1);
+        assert_eq!(bin_index(&edges, 25_000), 2);
+        assert_eq!(bin_index(&edges, 99_000_000), 2);
+    }
+
+    #[test]
+    fn bin_values_groups() {
+        let edges = [10u64, 20];
+        let bins = bin_values(&edges, vec![(5, 1.0), (15, 2.0), (25, 3.0), (8, 4.0)]);
+        assert_eq!(bins[0], vec![1.0, 4.0]);
+        assert_eq!(bins[1], vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn jain_index() {
+        assert_eq!(jain_fairness(&[1.0, 1.0, 1.0]), Some(1.0));
+        let unfair = jain_fairness(&[1.0, 0.0, 0.0]).unwrap();
+        assert!((unfair - 1.0 / 3.0).abs() < 1e-12);
+        assert!(jain_fairness(&[]).is_none());
+    }
+}

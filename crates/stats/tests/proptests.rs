@@ -1,0 +1,81 @@
+//! Property-based tests for the statistics utilities.
+
+use proptest::prelude::*;
+use rocc_stats::{bin_index, jain_fairness, mean_ci95, percentile, summarize};
+
+proptest! {
+    /// Percentile is monotone in q and bounded by min/max.
+    #[test]
+    fn percentile_monotone_and_bounded(
+        xs in proptest::collection::vec(-1e9f64..1e9, 1..200),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = (q1.min(q2), q1.max(q2));
+        let p_lo = percentile(&xs, lo).unwrap();
+        let p_hi = percentile(&xs, hi).unwrap();
+        prop_assert!(p_lo <= p_hi + 1e-9);
+        let s = summarize(&xs).unwrap();
+        prop_assert!(p_lo >= s.min - 1e-9 && p_hi <= s.max + 1e-9);
+    }
+
+    /// Summary invariants: min ≤ mean ≤ max; SD is translation-invariant.
+    #[test]
+    fn summary_invariants(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..100),
+        shift in -1e6f64..1e6,
+    ) {
+        let s = summarize(&xs).unwrap();
+        prop_assert!(s.min <= s.mean + 1e-6 && s.mean <= s.max + 1e-6);
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        let s2 = summarize(&shifted).unwrap();
+        prop_assert!((s.std_dev - s2.std_dev).abs() < 1e-3_f64.max(s.std_dev * 1e-9));
+        prop_assert!((s2.mean - (s.mean + shift)).abs() < 1e-3);
+    }
+
+    /// Confidence interval shrinks (weakly) as identical data is repeated,
+    /// and always covers the mean of constant data exactly.
+    #[test]
+    fn ci_of_constant_data_is_zero(v in -1e6f64..1e6, n in 2usize..20) {
+        let reps = vec![v; n];
+        let ci = mean_ci95(&reps).unwrap();
+        prop_assert!((ci.mean - v).abs() < 1e-9);
+        prop_assert!(ci.ci95.abs() < 1e-9);
+    }
+
+    /// Binning: every size lands in exactly one bin, and bins partition
+    /// the size axis in order.
+    #[test]
+    fn bins_partition(
+        mut edges in proptest::collection::vec(1u64..1_000_000, 1..10),
+        size in 0u64..2_000_000,
+    ) {
+        edges.sort_unstable();
+        edges.dedup();
+        let i = bin_index(&edges, size);
+        prop_assert!(i < edges.len());
+        if size <= edges[0] {
+            prop_assert_eq!(i, 0);
+        }
+        if size > *edges.last().unwrap() {
+            prop_assert_eq!(i, edges.len() - 1);
+        }
+        if i > 0 {
+            prop_assert!(size > edges[i - 1]);
+        }
+    }
+
+    /// Jain's index is scale-invariant and within [1/n, 1].
+    #[test]
+    fn jain_bounds_and_scale_invariance(
+        xs in proptest::collection::vec(0.0f64..1e9, 1..50),
+        k in 0.001f64..1000.0,
+    ) {
+        let j = jain_fairness(&xs).unwrap();
+        let n = xs.len() as f64;
+        prop_assert!(j >= 1.0 / n - 1e-9 && j <= 1.0 + 1e-9, "j = {j}");
+        let scaled: Vec<f64> = xs.iter().map(|x| x * k).collect();
+        let j2 = jain_fairness(&scaled).unwrap();
+        prop_assert!((j - j2).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,218 @@
+//! Flow-size distributions.
+//!
+//! The paper drives its evaluation with "traffic workloads derived from
+//! publicly available datacenter traffic traces": the DCTCP *WebSearch*
+//! distribution (throughput-sensitive large flows) and the Facebook
+//! *FB_Hadoop* distribution (latency-sensitive small flows). The CDFs
+//! below are the published point sets; note the paper's FCT report bins
+//! (Figs. 14–16) are exactly these distributions' knee points.
+//!
+//! Sampling is inverse-transform with linear interpolation between CDF
+//! points, using the caller's seeded RNG for reproducibility.
+
+use rand::Rng;
+
+/// A piecewise-linear CDF over flow sizes in bytes.
+#[derive(Debug, Clone)]
+pub struct FlowSizeDist {
+    name: &'static str,
+    /// (size_bytes, cumulative_probability), strictly increasing in both.
+    points: Vec<(u64, f64)>,
+}
+
+impl FlowSizeDist {
+    /// Build from CDF points; validates monotonicity and the [0, 1] range.
+    pub fn new(name: &'static str, points: Vec<(u64, f64)>) -> Self {
+        assert!(points.len() >= 2, "need at least two CDF points");
+        assert_eq!(points[0].1, 0.0, "CDF must start at 0");
+        assert_eq!(points.last().unwrap().1, 1.0, "CDF must end at 1");
+        for w in points.windows(2) {
+            assert!(w[1].0 > w[0].0, "sizes must be strictly increasing");
+            assert!(w[1].1 >= w[0].1, "CDF must be non-decreasing");
+        }
+        FlowSizeDist { name, points }
+    }
+
+    /// The DCTCP WebSearch distribution (Alizadeh et al. 2010), as published
+    /// in the distribution files accompanying the HPCC/Homa artifacts.
+    /// Heavy-tailed: ~60% of flows under 200 kB, but most *bytes* in the
+    /// multi-MB elephants. Mean ≈ 1.6 MB.
+    pub fn web_search() -> Self {
+        FlowSizeDist::new(
+            "WebSearch",
+            vec![
+                (1_000, 0.0),
+                (10_000, 0.15),
+                (20_000, 0.20),
+                (30_000, 0.30),
+                (50_000, 0.40),
+                (80_000, 0.53),
+                (200_000, 0.60),
+                (1_000_000, 0.70),
+                (2_000_000, 0.80),
+                (5_000_000, 0.90),
+                (10_000_000, 0.97),
+                (30_000_000, 1.0),
+            ],
+        )
+    }
+
+    /// The Facebook Hadoop distribution (Roy et al. 2015, as distributed
+    /// with the Homa artifacts), matched to the paper's report bins:
+    /// dominated by sub-25 kB flows with a thin tail to ~10 MB. Mean ≈ 14 kB.
+    pub fn fb_hadoop() -> Self {
+        FlowSizeDist::new(
+            "FB_Hadoop",
+            vec![
+                (75, 0.0),
+                (100, 0.05),
+                (250, 0.15),
+                (500, 0.25),
+                (1_000, 0.35),
+                (2_500, 0.50),
+                (6_300, 0.65),
+                (10_000, 0.75),
+                (16_000, 0.82),
+                (23_000, 0.86),
+                (24_000, 0.89),
+                (25_000, 0.92),
+                (50_000, 0.95),
+                (100_000, 0.98),
+                (1_000_000, 0.999),
+                (10_000_000, 1.0),
+            ],
+        )
+    }
+
+    /// Distribution name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Mean flow size in bytes (piecewise-linear expectation).
+    pub fn mean(&self) -> f64 {
+        let mut acc = 0.0;
+        for w in self.points.windows(2) {
+            let dp = w[1].1 - w[0].1;
+            let mid = (w[0].0 + w[1].0) as f64 / 2.0;
+            acc += dp * mid;
+        }
+        acc
+    }
+
+    /// Sample one flow size.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        self.quantile(u)
+    }
+
+    /// The size at cumulative probability `u ∈ [0, 1]`.
+    pub fn quantile(&self, u: f64) -> u64 {
+        let u = u.clamp(0.0, 1.0);
+        for w in self.points.windows(2) {
+            let (s0, p0) = w[0];
+            let (s1, p1) = w[1];
+            if u <= p1 {
+                if p1 == p0 {
+                    return s1;
+                }
+                let f = (u - p0) / (p1 - p0);
+                return (s0 as f64 + f * (s1 - s0) as f64).round() as u64;
+            }
+        }
+        self.points.last().unwrap().0
+    }
+
+    /// The paper's FCT report bin edges for this distribution (Figs. 14–16
+    /// x-axes): flows are assigned to the nearest bin edge at or above
+    /// their size.
+    pub fn report_bins(&self) -> Vec<u64> {
+        match self.name {
+            "WebSearch" => vec![
+                10_000, 20_000, 30_000, 50_000, 80_000, 200_000, 1_000_000, 2_000_000,
+                5_000_000, 10_000_000,
+            ],
+            "FB_Hadoop" => vec![
+                75, 1_000, 2_500, 6_300, 10_000, 16_000, 23_000, 24_000, 25_000, 100_000,
+            ],
+            _ => self.points.iter().map(|&(s, _)| s).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn quantiles_hit_published_points() {
+        let d = FlowSizeDist::web_search();
+        assert_eq!(d.quantile(0.15), 10_000);
+        assert_eq!(d.quantile(0.60), 200_000);
+        assert_eq!(d.quantile(1.0), 30_000_000);
+        assert_eq!(d.quantile(0.0), 1_000);
+    }
+
+    #[test]
+    fn interpolation_between_points() {
+        let d = FlowSizeDist::web_search();
+        // Halfway (in probability) between (10k, .15) and (20k, .20).
+        assert_eq!(d.quantile(0.175), 15_000);
+    }
+
+    #[test]
+    fn means_are_plausible() {
+        // WebSearch mean is ~1.6 MB; FB_Hadoop ~tens of kB.
+        let ws = FlowSizeDist::web_search().mean();
+        assert!(
+            (1.0e6..3.0e6).contains(&ws),
+            "WebSearch mean {ws:.0} out of range"
+        );
+        let fh = FlowSizeDist::fb_hadoop().mean();
+        assert!(
+            (5.0e3..40.0e3).contains(&fh),
+            "FB_Hadoop mean {fh:.0} out of range"
+        );
+    }
+
+    #[test]
+    fn empirical_mean_matches_analytic() {
+        let d = FlowSizeDist::fb_hadoop();
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| d.sample(&mut rng) as f64).sum();
+        let emp = sum / n as f64;
+        let ana = d.mean();
+        assert!(
+            (emp - ana).abs() / ana < 0.05,
+            "empirical {emp:.0} vs analytic {ana:.0}"
+        );
+    }
+
+    #[test]
+    fn samples_within_support() {
+        let d = FlowSizeDist::web_search();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let s = d.sample(&mut rng);
+            assert!((1_000..=30_000_000).contains(&s));
+        }
+    }
+
+    #[test]
+    fn report_bins_match_paper_axes() {
+        assert_eq!(FlowSizeDist::web_search().report_bins().len(), 10);
+        assert_eq!(
+            FlowSizeDist::fb_hadoop().report_bins(),
+            vec![75, 1_000, 2_500, 6_300, 10_000, 16_000, 23_000, 24_000, 25_000, 100_000]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "CDF must start at 0")]
+    fn rejects_bad_cdf() {
+        FlowSizeDist::new("bad", vec![(10, 0.5), (20, 1.0)]);
+    }
+}

@@ -1,0 +1,16 @@
+//! # rocc-workloads — datacenter traffic generation
+//!
+//! The two published flow-size distributions the RoCC paper evaluates on
+//! ([`dist::FlowSizeDist::web_search`], [`dist::FlowSizeDist::fb_hadoop`])
+//! and a Poisson open-loop arrival generator targeting a given average
+//! link load ([`poisson::PoissonWorkload`]). Simulator-agnostic: outputs
+//! indices/bytes/nanoseconds that the experiment harness maps onto
+//! topology nodes.
+
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod poisson;
+
+pub use dist::FlowSizeDist;
+pub use poisson::{GeneratedFlow, PoissonWorkload};

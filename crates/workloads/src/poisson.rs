@@ -1,0 +1,166 @@
+//! Open-loop Poisson flow arrivals at a target average link load.
+//!
+//! For each sender, flows arrive as a Poisson process with rate
+//! `λ = load · C / (8 · mean_flow_size)` so the offered load averages the
+//! requested fraction of the access link. Destinations are drawn uniformly
+//! from the sender's destination set — the paper's fat-tree scenario sends
+//! from every host behind the first two edge switches to every host behind
+//! the third.
+
+use crate::dist::FlowSizeDist;
+use rand::Rng;
+
+/// One generated flow (simulator-agnostic: indices, bytes, nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GeneratedFlow {
+    /// Index into the caller's sender list.
+    pub src_idx: usize,
+    /// Index into the caller's destination list.
+    pub dst_idx: usize,
+    /// Flow size in bytes.
+    pub size: u64,
+    /// Arrival time in nanoseconds.
+    pub start_ns: u64,
+}
+
+/// Workload generator configuration.
+#[derive(Debug, Clone)]
+pub struct PoissonWorkload {
+    /// Flow-size distribution.
+    pub dist: FlowSizeDist,
+    /// Target average load as a fraction of the sender access-link rate.
+    pub load: f64,
+    /// Sender access-link rate in bits/s.
+    pub link_bps: u64,
+    /// Workload horizon in nanoseconds (arrivals beyond it are dropped).
+    pub duration_ns: u64,
+}
+
+impl PoissonWorkload {
+    /// Per-sender flow arrival rate λ in flows/second.
+    pub fn lambda(&self) -> f64 {
+        assert!(self.load > 0.0 && self.load < 1.5, "unreasonable load");
+        self.load * self.link_bps as f64 / (8.0 * self.dist.mean())
+    }
+
+    /// Generate arrivals for `n_senders` senders and `n_dsts` destinations.
+    /// A sender never targets `exclude_same_index` (set true when sender i
+    /// and destination i are the same physical host).
+    pub fn generate<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        n_senders: usize,
+        n_dsts: usize,
+        exclude_same_index: bool,
+        out: &mut Vec<GeneratedFlow>,
+    ) {
+        assert!(n_dsts > if exclude_same_index { 1 } else { 0 });
+        let lambda = self.lambda();
+        for s in 0..n_senders {
+            let mut t = 0.0_f64;
+            loop {
+                // Exponential inter-arrival via inverse transform.
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                t += -u.ln() / lambda;
+                let start_ns = (t * 1e9) as u64;
+                if start_ns >= self.duration_ns {
+                    break;
+                }
+                let mut d = rng.gen_range(0..n_dsts);
+                if exclude_same_index && d == s % n_dsts {
+                    d = (d + 1) % n_dsts;
+                }
+                out.push(GeneratedFlow {
+                    src_idx: s,
+                    dst_idx: d,
+                    size: self.dist.sample(rng),
+                    start_ns,
+                });
+            }
+        }
+        // Deterministic global ordering by time (ties by src).
+        out.sort_by_key(|f| (f.start_ns, f.src_idx, f.dst_idx, f.size));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn wl(load: f64) -> PoissonWorkload {
+        PoissonWorkload {
+            dist: FlowSizeDist::fb_hadoop(),
+            load,
+            link_bps: 40_000_000_000,
+            duration_ns: 50_000_000, // 50 ms
+        }
+    }
+
+    #[test]
+    fn lambda_formula() {
+        let w = wl(0.7);
+        let expect = 0.7 * 40e9 / (8.0 * w.dist.mean());
+        assert!((w.lambda() - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn offered_load_close_to_target() {
+        let w = wl(0.7);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut flows = Vec::new();
+        w.generate(&mut rng, 8, 8, true, &mut flows);
+        let total_bytes: u64 = flows.iter().map(|f| f.size).sum();
+        let offered = total_bytes as f64 * 8.0 / (8.0 * 0.05) / 40e9; // per sender
+        assert!(
+            (offered - 0.7).abs() < 0.1,
+            "offered load {offered:.3} vs target 0.7"
+        );
+    }
+
+    #[test]
+    fn arrivals_sorted_and_bounded() {
+        let w = wl(0.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut flows = Vec::new();
+        w.generate(&mut rng, 4, 4, true, &mut flows);
+        assert!(!flows.is_empty());
+        for pair in flows.windows(2) {
+            assert!(pair[0].start_ns <= pair[1].start_ns);
+        }
+        assert!(flows.iter().all(|f| f.start_ns < w.duration_ns));
+    }
+
+    #[test]
+    fn self_targeting_excluded() {
+        let w = wl(0.5);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut flows = Vec::new();
+        w.generate(&mut rng, 4, 4, true, &mut flows);
+        assert!(flows.iter().all(|f| f.dst_idx != f.src_idx % 4));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let w = wl(0.6);
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut flows = Vec::new();
+            w.generate(&mut rng, 3, 5, false, &mut flows);
+            flows
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn higher_load_means_more_flows() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut lo = Vec::new();
+        wl(0.3).generate(&mut rng, 4, 4, true, &mut lo);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut hi = Vec::new();
+        wl(0.9).generate(&mut rng, 4, 4, true, &mut hi);
+        assert!(hi.len() > lo.len());
+    }
+}

@@ -1,0 +1,66 @@
+//! Property-based tests for workload generation.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rocc_workloads::{FlowSizeDist, PoissonWorkload};
+
+proptest! {
+    /// Quantile function is monotone and stays within the distribution's
+    /// support, for both published distributions.
+    #[test]
+    fn quantile_monotone(u1 in 0.0f64..1.0, u2 in 0.0f64..1.0) {
+        for d in [FlowSizeDist::web_search(), FlowSizeDist::fb_hadoop()] {
+            let (lo, hi) = (u1.min(u2), u1.max(u2));
+            prop_assert!(d.quantile(lo) <= d.quantile(hi));
+            prop_assert!(d.quantile(0.0) <= d.quantile(lo));
+            prop_assert!(d.quantile(hi) <= d.quantile(1.0));
+        }
+    }
+
+    /// Sampling respects the CDF: the empirical fraction below any
+    /// published CDF point converges to its probability.
+    #[test]
+    fn sampling_matches_cdf_point(seed in 0u64..1000) {
+        let d = FlowSizeDist::web_search();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 4000;
+        let below_200k = (0..n).filter(|_| d.sample(&mut rng) <= 200_000).count();
+        let frac = below_200k as f64 / n as f64;
+        // CDF(200 kB) = 0.60; 4000 samples → ±4σ ≈ ±0.031.
+        prop_assert!((frac - 0.60).abs() < 0.05, "frac {frac}");
+    }
+
+    /// Poisson generation: all arrivals within the horizon, sorted, flows
+    /// target valid destinations, λ scales linearly with load.
+    #[test]
+    fn generation_invariants(
+        load in 0.1f64..0.74,
+        senders in 1usize..6,
+        dsts in 2usize..6,
+        seed in 0u64..500,
+    ) {
+        let wl = PoissonWorkload {
+            dist: FlowSizeDist::fb_hadoop(),
+            load,
+            link_bps: 40_000_000_000,
+            duration_ns: 5_000_000,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut flows = Vec::new();
+        wl.generate(&mut rng, senders, dsts, true, &mut flows);
+        for w in flows.windows(2) {
+            prop_assert!(w[0].start_ns <= w[1].start_ns);
+        }
+        for f in &flows {
+            prop_assert!(f.start_ns < wl.duration_ns);
+            prop_assert!(f.src_idx < senders);
+            prop_assert!(f.dst_idx < dsts);
+            prop_assert!(f.dst_idx != f.src_idx % dsts);
+            prop_assert!(f.size >= 75);
+        }
+        // λ scales with load.
+        let wl2 = PoissonWorkload { load: load * 2.0, ..wl.clone() };
+        prop_assert!((wl2.lambda() / wl.lambda() - 2.0).abs() < 1e-9);
+    }
+}

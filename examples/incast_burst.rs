@@ -1,0 +1,111 @@
+//! Incast: the datacenter pattern that motivates RDMA congestion control.
+//!
+//! 32 workers answer a partition/aggregate query at once, blasting
+//! responses at a single aggregator behind one 40 GbE link — the classic
+//! burst that overruns switch buffers and triggers PFC storms. This
+//! example runs the same burst twice, with PFC alone and with RoCC on
+//! top, and compares buffer peaks, PFC activity, and completion times.
+//!
+//! ```text
+//! cargo run --release --example incast_burst
+//! ```
+
+use rocc::core::{RoccHostCcFactory, RoccSwitchCcFactory};
+use rocc::sim::cc::{NullHostCcFactory, NullSwitchCcFactory};
+use rocc::sim::prelude::*;
+
+const WORKERS: usize = 32;
+const RESPONSE_BYTES: u64 = 2_000_000; // 2 MB per worker
+
+struct Outcome {
+    peak_queue: u64,
+    mean_queue: f64,
+    pfc_frames: usize,
+    last_fct_ms: f64,
+    mean_fct_ms: f64,
+}
+
+fn run(with_rocc: bool) -> Outcome {
+    let mut b = TopologyBuilder::new();
+    let sw = b.add_switch("tor", NodeRole::Switch);
+    let agg = b.add_host("aggregator");
+    let (bottleneck, _) = b.connect(sw, agg, BitRate::from_gbps(40), SimDuration::from_micros(1));
+    let mut workers = Vec::new();
+    for i in 0..WORKERS {
+        let h = b.add_host(format!("worker{i}"));
+        b.connect(h, sw, BitRate::from_gbps(40), SimDuration::from_micros(1));
+        workers.push(h);
+    }
+    let (host_cc, switch_cc): (
+        Box<dyn rocc::sim::cc::HostCcFactory>,
+        Box<dyn rocc::sim::cc::SwitchCcFactory>,
+    ) = if with_rocc {
+        (
+            Box::new(RoccHostCcFactory::new()),
+            Box::new(RoccSwitchCcFactory::new()),
+        )
+    } else {
+        (Box::new(NullHostCcFactory), Box::new(NullSwitchCcFactory))
+    };
+    let mut sim = Sim::new(b.build(), SimConfig::default(), host_cc, switch_cc);
+    sim.trace.sample_period = Some(SimDuration::from_micros(50));
+    sim.trace.watch_queue(sw, bottleneck);
+
+    // All workers answer within a 10 µs jitter window.
+    for (i, &w) in workers.iter().enumerate() {
+        sim.add_flow(FlowSpec {
+            id: FlowId(i as u64),
+            src: w,
+            dst: agg,
+            size: RESPONSE_BYTES,
+            start: SimTime::from_nanos(i as u64 * 300),
+            offered: None,
+        });
+    }
+    assert!(sim.run_until_flows_done(SimTime::from_millis(100)));
+
+    let fcts: Vec<f64> = sim.trace.fcts.iter().map(|r| r.fct().as_secs_f64() * 1e3).collect();
+    let q: Vec<f64> = sim.trace.queue_series[0].iter().map(|s| s.v).collect();
+    Outcome {
+        peak_queue: sim.trace.queue_peak[0],
+        mean_queue: q.iter().sum::<f64>() / q.len().max(1) as f64,
+        pfc_frames: sim.trace.pfc_events.len(),
+        last_fct_ms: fcts.iter().cloned().fold(0.0, f64::max),
+        mean_fct_ms: fcts.iter().sum::<f64>() / fcts.len() as f64,
+    }
+}
+
+fn main() {
+    println!("{WORKERS}-to-1 incast of {} kB responses over 40 GbE\n", RESPONSE_BYTES / 1000);
+    let pfc_only = run(false);
+    let rocc = run(true);
+    println!("{:>22} {:>14} {:>14}", "", "PFC only", "RoCC");
+    println!(
+        "{:>22} {:>12.0}KB {:>12.0}KB",
+        "peak switch buffer",
+        pfc_only.peak_queue as f64 / 1e3,
+        rocc.peak_queue as f64 / 1e3
+    );
+    println!(
+        "{:>22} {:>12.0}KB {:>12.0}KB",
+        "mean switch buffer",
+        pfc_only.mean_queue / 1e3,
+        rocc.mean_queue / 1e3
+    );
+    println!(
+        "{:>22} {:>14} {:>14}",
+        "PFC pause frames", pfc_only.pfc_frames, rocc.pfc_frames
+    );
+    println!(
+        "{:>22} {:>12.2}ms {:>12.2}ms",
+        "mean FCT", pfc_only.mean_fct_ms, rocc.mean_fct_ms
+    );
+    println!(
+        "{:>22} {:>12.2}ms {:>12.2}ms",
+        "query completion", pfc_only.last_fct_ms, rocc.last_fct_ms
+    );
+    println!("\nRoCC absorbs the burst at the congestion point: the fair rate");
+    println!("collapses within one update interval (multiplicative decrease),");
+    println!("the queue drains to the reference depth, and the incast finishes");
+    println!("without relying on back-pressure.");
+}

@@ -1,0 +1,77 @@
+//! Legacy-ASIC deployment (§3.6): rate computation at the host.
+//!
+//! Some installed switch ASICs can't do arithmetic in the feedback path.
+//! RoCC still works: the congestion point ships its raw queue depth (plus
+//! Fmax, the key into the host's parameter registry) in a queue-report
+//! message, and every source replicates the fair-rate computation locally.
+//! This example runs the same contended scenario in both modes and shows
+//! they land on the same equilibrium.
+//!
+//! ```text
+//! cargo run --release --example legacy_switch
+//! ```
+
+use rocc::core::{HostCalcRoccFactory, RoccHostCcFactory, RoccSwitchCcFactory};
+use rocc::sim::cc::{HostCcFactory, SwitchCcFactory};
+use rocc::sim::prelude::*;
+
+fn run(label: &str, host: Box<dyn HostCcFactory>, switch: Box<dyn SwitchCcFactory>) {
+    const N: usize = 6;
+    let mut b = TopologyBuilder::new();
+    let sw = b.add_switch("sw", NodeRole::Switch);
+    let dst = b.add_host("dst");
+    let (port, _) = b.connect(sw, dst, BitRate::from_gbps(40), SimDuration::from_micros(1));
+    let mut senders = Vec::new();
+    for i in 0..N {
+        let h = b.add_host(format!("h{i}"));
+        b.connect(h, sw, BitRate::from_gbps(40), SimDuration::from_micros(1));
+        senders.push(h);
+    }
+    let mut sim = Sim::new(b.build(), SimConfig::default(), host, switch);
+    sim.trace.sample_period = Some(SimDuration::from_micros(100));
+    sim.trace.watch_queue(sw, port);
+    for (i, &s) in senders.iter().enumerate() {
+        sim.add_flow(FlowSpec {
+            id: FlowId(i as u64),
+            src: s,
+            dst,
+            size: u64::MAX,
+            start: SimTime::ZERO,
+            offered: Some(BitRate::from_gbps(36)),
+        });
+    }
+    sim.run_until(SimTime::from_millis(8));
+    let base: Vec<u64> = (0..N)
+        .map(|i| sim.trace.delivered_bytes(FlowId(i as u64)))
+        .collect();
+    sim.run_until(SimTime::from_millis(16));
+    let rates: Vec<f64> = (0..N)
+        .map(|i| (sim.trace.delivered_bytes(FlowId(i as u64)) - base[i]) as f64 * 8.0 / 8e-3)
+        .collect();
+    let tail: Vec<f64> = sim.trace.queue_series[0]
+        .iter()
+        .filter(|s| s.t >= SimTime::from_millis(8))
+        .map(|s| s.v)
+        .collect();
+    let qmean = tail.iter().sum::<f64>() / tail.len() as f64;
+    let rate_strs: Vec<String> = rates.iter().map(|r| format!("{:.2}", r / 1e9)).collect();
+    println!("{label:>18}: queue {:.0} KB, per-flow Gb/s [{}]", qmean / 1e3, rate_strs.join(" "));
+}
+
+fn main() {
+    println!("Six flows on one 40G bottleneck; ideal fair share 6.36 Gb/s each\n");
+    run(
+        "switch-computed",
+        Box::new(RoccHostCcFactory::new()),
+        Box::new(RoccSwitchCcFactory::new()),
+    );
+    run(
+        "host-computed",
+        Box::new(HostCalcRoccFactory::default()),
+        Box::new(RoccSwitchCcFactory::new().host_computed()),
+    );
+    println!();
+    println!("Same fair split, same queue at Qref = 150 KB. The host-computed");
+    println!("mode only needs the switch to read its queue depth and mirror a");
+    println!("32-byte report — viable on ASICs with no floating point at all.");
+}

@@ -1,0 +1,86 @@
+//! Quickstart: ten senders share one 40 GbE bottleneck under RoCC.
+//!
+//! Demonstrates the core loop of the library: build a topology, install
+//! RoCC at the switch (congestion point) and hosts (reaction points), add
+//! flows, run, and read fairness and queue behaviour from the trace.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rocc::core::{RoccHostCcFactory, RoccSwitchCcFactory};
+use rocc::sim::prelude::*;
+
+fn main() {
+    const N: usize = 10;
+    let rate = BitRate::from_gbps(40);
+
+    // Topology: N senders and one receiver on a single switch. The
+    // switch-to-receiver link is the bottleneck.
+    let mut b = TopologyBuilder::new();
+    let sw = b.add_switch("switch", NodeRole::Switch);
+    let dst = b.add_host("receiver");
+    let (bottleneck, _) = b.connect(sw, dst, rate, SimDuration::from_micros(1));
+    let mut senders = Vec::new();
+    for i in 0..N {
+        let h = b.add_host(format!("sender{i}"));
+        b.connect(h, sw, rate, SimDuration::from_micros(1));
+        senders.push(h);
+    }
+
+    // RoCC on every switch egress port and every flow; paper parameters
+    // are selected automatically from each port's line rate.
+    let mut sim = Sim::new(
+        b.build(),
+        SimConfig::default(),
+        Box::new(RoccHostCcFactory::new()),
+        Box::new(RoccSwitchCcFactory::new()),
+    );
+
+    // Instrument the bottleneck queue.
+    sim.trace.sample_period = Some(SimDuration::from_micros(100));
+    sim.trace.watch_queue(sw, bottleneck);
+
+    // Long-running flows, each offering 90% of line rate.
+    for (i, &src) in senders.iter().enumerate() {
+        sim.add_flow(FlowSpec {
+            id: FlowId(i as u64),
+            src,
+            dst,
+            size: u64::MAX,
+            start: SimTime::ZERO,
+            offered: Some(rate.scale(0.9)),
+        });
+    }
+
+    // Warm up past convergence, then measure for 8 ms.
+    sim.run_until(SimTime::from_millis(8));
+    let base: Vec<u64> = (0..N)
+        .map(|i| sim.trace.delivered_bytes(FlowId(i as u64)))
+        .collect();
+    sim.run_until(SimTime::from_millis(16));
+
+    println!("Per-flow goodput over the measurement window:");
+    let mut rates = Vec::new();
+    for i in 0..N {
+        let bytes = sim.trace.delivered_bytes(FlowId(i as u64)) - base[i];
+        let gbps = bytes as f64 * 8.0 / 8e-3 / 1e9;
+        rates.push(gbps);
+        println!("  flow {i}: {gbps:.2} Gb/s");
+    }
+    let mean = rates.iter().sum::<f64>() / N as f64;
+    println!("mean {mean:.2} Gb/s — ideal fair share is {:.2} Gb/s", 40.0 / N as f64);
+
+    // The queue holds at the reference depth (150 KB for 40G links).
+    let tail: Vec<f64> = sim.trace.queue_series[0]
+        .iter()
+        .filter(|s| s.t >= SimTime::from_millis(8))
+        .map(|s| s.v)
+        .collect();
+    let qmean = tail.iter().sum::<f64>() / tail.len() as f64;
+    println!("bottleneck queue mean: {:.0} KB (Qref = 150 KB)", qmean / 1e3);
+    println!(
+        "PFC pause frames: {} (stable queues make PFC unnecessary)",
+        sim.trace.pfc_events.len()
+    );
+}

@@ -1,0 +1,77 @@
+//! # RoCC — Robust Congestion Control for RDMA
+//!
+//! A complete, from-scratch Rust reproduction of *RoCC: Robust Congestion
+//! Control for RDMA* (Taheri, Menikkumbura, Vanini, Fahmy, Eugster,
+//! Edsall; CoNEXT 2020): the switch-driven congestion-control scheme, the
+//! packet-level datacenter simulator it is evaluated on, every baseline it
+//! is compared against, the control-theoretic stability analysis, and the
+//! experiment harness regenerating every table and figure in the paper.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`core`] (`rocc-core`) — RoCC itself: the congestion-point fair-rate
+//!   calculator (PI + multiplicative decrease + six-level gain
+//!   auto-tuning, Alg. 1), the reaction-point rate limiter (Alg. 2), flow
+//!   tables, and the ICMP type-253 CNP wire format.
+//! * [`sim`] (`rocc-sim`) — a deterministic discrete-event network
+//!   simulator: switches with PFC (802.1Qbb) and priority queues, ECMP
+//!   routing, hosts with per-flow rate limiters and go-back-N transport.
+//! * [`baselines`] (`rocc-baselines`) — DCQCN, DCQCN+PI, QCN, TIMELY, and
+//!   HPCC on the same pluggable traits.
+//! * [`control`] (`rocc-control`) — the §5 Bode / phase-margin analysis.
+//! * [`workloads`] (`rocc-workloads`) — WebSearch and FB_Hadoop flow-size
+//!   distributions with Poisson arrivals at a target load.
+//! * [`stats`] (`rocc-stats`) — percentiles, confidence intervals,
+//!   flow-size binning, Jain fairness.
+//! * [`experiments`] (`rocc-experiments`) — one function per paper
+//!   artifact plus the `repro` CLI.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rocc::core::{RoccHostCcFactory, RoccSwitchCcFactory};
+//! use rocc::sim::prelude::*;
+//!
+//! // Two senders share one 40G bottleneck under RoCC.
+//! let mut b = TopologyBuilder::new();
+//! let sw = b.add_switch("sw", NodeRole::Switch);
+//! let dst = b.add_host("dst");
+//! b.connect(sw, dst, BitRate::from_gbps(40), SimDuration::from_micros(1));
+//! let mut senders = vec![];
+//! for i in 0..2 {
+//!     let h = b.add_host(format!("h{i}"));
+//!     b.connect(h, sw, BitRate::from_gbps(40), SimDuration::from_micros(1));
+//!     senders.push(h);
+//! }
+//! let mut sim = Sim::new(
+//!     b.build(),
+//!     SimConfig::default(),
+//!     Box::new(RoccHostCcFactory::new()),
+//!     Box::new(RoccSwitchCcFactory::new()),
+//! );
+//! for (i, &src) in senders.iter().enumerate() {
+//!     sim.add_flow(FlowSpec {
+//!         id: FlowId(i as u64),
+//!         src,
+//!         dst,
+//!         size: 5_000_000,
+//!         start: SimTime::ZERO,
+//!         offered: None,
+//!     });
+//! }
+//! assert!(sim.run_until_flows_done(SimTime::from_millis(50)));
+//! assert_eq!(sim.trace.fcts.len(), 2);
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the reproduction inventory.
+
+#![warn(missing_docs)]
+
+pub use rocc_baselines as baselines;
+pub use rocc_control as control;
+pub use rocc_core as core;
+pub use rocc_experiments as experiments;
+pub use rocc_sim as sim;
+pub use rocc_stats as stats;
+pub use rocc_workloads as workloads;

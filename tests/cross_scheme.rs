@@ -1,0 +1,121 @@
+//! Cross-crate integration: every congestion-control scheme drives real
+//! traffic end-to-end through the fat-tree substrate.
+
+use rocc::experiments::fct::{run_fat_tree, BufferRegime, FatTreeConfig, Workload};
+use rocc::experiments::Scheme;
+use rocc::sim::prelude::SimDuration;
+
+fn tiny() -> FatTreeConfig {
+    FatTreeConfig {
+        hosts_per_edge: 3,
+        trunks: 1,
+        window: SimDuration::from_millis(2),
+        max_drain: SimDuration::from_millis(500),
+        reps: 1,
+    }
+}
+
+#[test]
+fn every_scheme_completes_a_fat_tree_workload() {
+    for scheme in Scheme::comparison_set() {
+        let out = run_fat_tree(
+            scheme,
+            Workload::FbHadoop,
+            0.5,
+            &tiny(),
+            BufferRegime::Pfc,
+            3,
+        );
+        assert!(
+            out.all_completed,
+            "{}: {} of {} flows completed",
+            scheme.name(),
+            out.fcts.len(),
+            out.offered_flows
+        );
+        assert_eq!(out.drops, 0, "{}: lossless run must not drop", scheme.name());
+        assert!(
+            out.fcts.iter().all(|&(_, fct)| fct > 0.0),
+            "{}: non-positive FCT",
+            scheme.name()
+        );
+    }
+}
+
+#[test]
+fn rocc_keeps_queues_near_reference_in_the_fat_tree() {
+    let out = run_fat_tree(
+        Scheme::Rocc,
+        Workload::WebSearch,
+        0.7,
+        &tiny(),
+        BufferRegime::Pfc,
+        5,
+    );
+    // The paper's Fig. 17: RoCC's congested queues average near (below)
+    // Qref. At this reduced scale the 2:1 host oversubscription makes the
+    // egress-edge ports the hot congestion points; the core trunks stay
+    // lightly loaded. Assert the hot class is bounded by Qref-ish depth
+    // and actually saw congestion.
+    assert!(
+        out.q_egress < 250_000.0,
+        "egress queue too deep: {:.0} B (Qref = 150 KB for 40G)",
+        out.q_egress
+    );
+    assert!(
+        out.q_egress > 1_000.0,
+        "egress never congested — workload broken"
+    );
+    assert!(
+        out.q_core < 450_000.0,
+        "core queue too deep: {:.0} B",
+        out.q_core
+    );
+}
+
+#[test]
+fn unlimited_buffer_rocc_stays_shallow_dcqcn_goes_deep() {
+    // Fig. 18's mechanism: without PFC, DCQCN's buffer demand explodes
+    // while RoCC holds near the reference.
+    let rocc = run_fat_tree(
+        Scheme::Rocc,
+        Workload::FbHadoop,
+        0.7,
+        &tiny(),
+        BufferRegime::Unlimited,
+        7,
+    );
+    let dcqcn = run_fat_tree(
+        Scheme::Dcqcn,
+        Workload::FbHadoop,
+        0.7,
+        &tiny(),
+        BufferRegime::Unlimited,
+        7,
+    );
+    let rocc_max = rocc.q_core.max(rocc.q_ingress).max(rocc.q_egress);
+    let dcqcn_max = dcqcn.q_core.max(dcqcn.q_ingress).max(dcqcn.q_egress);
+    assert!(
+        dcqcn_max > 2.0 * rocc_max,
+        "DCQCN ({dcqcn_max:.0} B) must need much deeper buffers than RoCC ({rocc_max:.0} B)"
+    );
+}
+
+#[test]
+fn lossy_fabric_recovers_with_go_back_n() {
+    for scheme in [Scheme::Dcqcn, Scheme::Rocc] {
+        let out = run_fat_tree(
+            scheme,
+            Workload::FbHadoop,
+            0.7,
+            &tiny(),
+            BufferRegime::Lossy3x,
+            11,
+        );
+        assert!(
+            out.all_completed,
+            "{}: flows must complete despite drops",
+            scheme.name()
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! The paper's headline claims, asserted end-to-end at reduced scale.
+
+use rocc::core::{RoccHostCcFactory, RoccSwitchCcFactory};
+use rocc::experiments::{micro, Scale, Scheme};
+use rocc::sim::cc::{NullHostCcFactory, NullSwitchCcFactory};
+use rocc::sim::prelude::*;
+use rocc::stats::jain_fairness;
+
+/// §1: "RoCC can achieve up to 7× reduction in PFC frames generated under
+/// high average load levels, compared to DCQCN" — mechanism check: under a
+/// sustained heavy incast, RoCC generates far fewer PFC pauses than a
+/// PFC-only fabric, because the CP keeps queues at Qref.
+#[test]
+fn rocc_suppresses_pfc_under_sustained_incast() {
+    let run = |rocc: bool| -> usize {
+        let mut b = TopologyBuilder::new();
+        let sw = b.add_switch("sw", NodeRole::Switch);
+        let dst = b.add_host("dst");
+        b.connect(sw, dst, BitRate::from_gbps(40), SimDuration::from_micros(1));
+        let mut srcs = Vec::new();
+        for i in 0..16 {
+            let h = b.add_host(format!("s{i}"));
+            b.connect(h, sw, BitRate::from_gbps(40), SimDuration::from_micros(1));
+            srcs.push(h);
+        }
+        let (hf, sf): (
+            Box<dyn rocc::sim::cc::HostCcFactory>,
+            Box<dyn rocc::sim::cc::SwitchCcFactory>,
+        ) = if rocc {
+            (
+                Box::new(RoccHostCcFactory::new()),
+                Box::new(RoccSwitchCcFactory::new()),
+            )
+        } else {
+            (Box::new(NullHostCcFactory), Box::new(NullSwitchCcFactory))
+        };
+        let mut sim = Sim::new(b.build(), SimConfig::default(), hf, sf);
+        for (i, &s) in srcs.iter().enumerate() {
+            sim.add_flow(FlowSpec {
+                id: FlowId(i as u64),
+                src: s,
+                dst,
+                size: 4_000_000,
+                start: SimTime::ZERO,
+                offered: None,
+            });
+        }
+        sim.run_until(SimTime::from_millis(30));
+        sim.trace.pfc_events.len()
+    };
+    let without = run(false);
+    let with = run(true);
+    assert!(
+        without > 0,
+        "PFC-only fabric must pause under a 16-to-1 4MB incast"
+    );
+    assert!(
+        with * 5 <= without,
+        "RoCC must cut PFC drastically: {with} vs {without}"
+    );
+}
+
+/// §6.1: RoCC is the fairest scheme in the Fig. 11 comparison.
+#[test]
+fn rocc_wins_the_fairness_comparison() {
+    let rows = micro::fig11(Scale::Quick);
+    let jain = |r: &micro::Fig11Row| jain_fairness(&r.per_flow_rate).unwrap();
+    let rocc = rows.iter().find(|r| r.scheme == Scheme::Rocc).unwrap();
+    for r in &rows {
+        assert!(
+            jain(rocc) >= jain(r) - 1e-6,
+            "{} fairer than RoCC: {:.4} vs {:.4}",
+            r.scheme.name(),
+            jain(r),
+            jain(rocc)
+        );
+    }
+    assert!(jain(rocc) > 0.999, "RoCC fairness {:.5}", jain(rocc));
+}
+
+/// §6.1: RoCC's queue is the most stable around a nonzero operating point
+/// (stable ≠ shallow: HPCC's queue is near-empty by design).
+#[test]
+fn rocc_queue_is_stable_at_reference() {
+    let rows = micro::fig11(Scale::Quick);
+    let rocc = rows.iter().find(|r| r.scheme == Scheme::Rocc).unwrap();
+    // Near Qref...
+    assert!(
+        (rocc.queue_mean - 150_000.0).abs() < 40_000.0,
+        "RoCC queue mean {:.0}",
+        rocc.queue_mean
+    );
+    // ...with small relative variation.
+    assert!(
+        rocc.queue_sd / rocc.queue_mean < 0.2,
+        "RoCC queue CoV {:.3}",
+        rocc.queue_sd / rocc.queue_mean
+    );
+    // DCQCN fluctuates harder relative to its own operating point.
+    let dcqcn = rows.iter().find(|r| r.scheme == Scheme::Dcqcn).unwrap();
+    assert!(
+        dcqcn.queue_sd / dcqcn.queue_mean.max(1.0) > rocc.queue_sd / rocc.queue_mean,
+        "DCQCN should be less stable"
+    );
+}
+
+/// §6.1 key takeaway (i): high utilization — RoCC keeps the bottleneck
+/// above 95% while holding the queue at Qref.
+#[test]
+fn rocc_sustains_high_utilization() {
+    let rows = micro::fig11(Scale::Quick);
+    let rocc = rows.iter().find(|r| r.scheme == Scheme::Rocc).unwrap();
+    assert!(rocc.util_mean > 0.95, "utilization {:.3}", rocc.util_mean);
+}
+
+/// Fig. 13's conclusion: the testbed profile (stack latency + jitter +
+/// T = 100 µs) reproduces the clean simulation's equilibrium.
+#[test]
+fn testbed_profile_matches_simulation() {
+    let runs = micro::fig13(Scale::Quick);
+    let get = |profile: &str, scenario: &str| {
+        runs.iter()
+            .find(|r| r.profile == profile && r.scenario == scenario)
+            .unwrap()
+    };
+    for scenario in ["uni", "mix"] {
+        let sim = get("sim", scenario);
+        let tb = get("testbed", scenario);
+        assert!(
+            (sim.queue_mean - tb.queue_mean).abs() < 20_000.0,
+            "{scenario}: queue {:.0} vs {:.0}",
+            sim.queue_mean,
+            tb.queue_mean
+        );
+        for (a, b) in sim.goodput.iter().zip(&tb.goodput) {
+            assert!(
+                (a - b).abs() / a.max(1.0) < 0.15,
+                "{scenario}: goodput {a:.2e} vs {b:.2e}"
+            );
+        }
+    }
+}

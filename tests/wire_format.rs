@@ -1,0 +1,87 @@
+//! The CNP wire format round-trips the values the simulator's congestion
+//! points actually produce, and the RP interprets them identically.
+
+use rocc::core::cnp::Cnp;
+use rocc::core::{CpParams, RoccHostCc, RpParams, DELTA_F};
+use rocc::sim::cc::{FeedbackEvent, HostCc, HostCcCtx};
+use rocc::sim::prelude::*;
+
+fn ctx() -> HostCcCtx {
+    HostCcCtx {
+        now: SimTime::ZERO,
+        link_rate: BitRate::from_gbps(40),
+        set_timers: Vec::new(),
+        cancel_timers: Vec::new(),
+    }
+}
+
+#[test]
+fn cnp_wire_round_trip_drives_the_rp() {
+    // A CP computed 4000 units (Fmax for 40G) — encode as real ICMP bytes,
+    // decode as a DPDK/raw-socket RP would, and apply to the rate limiter.
+    let p = CpParams::for_40g();
+    for units in [p.f_min, 100, 2_000, p.f_max] {
+        let cnp = Cnp {
+            fair_rate_units: units,
+            cp: CpId {
+                node: NodeId(3),
+                port: PortId(1),
+            },
+            flow: FlowId(42),
+        };
+        let wire = cnp.to_bytes();
+        let decoded = Cnp::decode(&wire).expect("decode");
+        assert_eq!(decoded, cnp);
+
+        let mut rp = RoccHostCc::new(RpParams::default(), BitRate::from_gbps(40));
+        let mut c = ctx();
+        rp.on_feedback(
+            &mut c,
+            FeedbackEvent::RoccCnp {
+                fair_rate_units: decoded.fair_rate_units,
+                cp: decoded.cp,
+            },
+        );
+        let expect = BitRate::from_bps(DELTA_F.as_bps() * units as u64).min(BitRate::from_gbps(40));
+        assert_eq!(rp.decision().rate, expect, "units = {units}");
+    }
+}
+
+#[test]
+fn corrupted_cnp_never_reaches_the_rate_limiter() {
+    let cnp = Cnp {
+        fair_rate_units: 10,
+        cp: CpId {
+            node: NodeId(0),
+            port: PortId(0),
+        },
+        flow: FlowId(1),
+    };
+    let mut wire = cnp.to_bytes();
+    for i in 0..wire.len() {
+        wire[i] ^= 0x55;
+        assert!(Cnp::decode(&wire).is_err(), "corruption at byte {i} accepted");
+        wire[i] ^= 0x55;
+    }
+    // Pristine again: accepted.
+    assert!(Cnp::decode(&wire).is_ok());
+}
+
+#[test]
+fn rate_quantization_matches_delta_f() {
+    // The wire carries multiples of ΔF = 10 Mb/s: whatever the CP computes
+    // internally, the RP can only see 10 Mb/s steps.
+    let cnp = Cnp {
+        fair_rate_units: 333,
+        cp: CpId {
+            node: NodeId(0),
+            port: PortId(0),
+        },
+        flow: FlowId(1),
+    };
+    let decoded = Cnp::decode(&cnp.to_bytes()).unwrap();
+    assert_eq!(
+        DELTA_F.as_bps() * decoded.fair_rate_units as u64,
+        3_330_000_000
+    );
+}
