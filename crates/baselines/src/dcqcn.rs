@@ -213,7 +213,7 @@ impl HostCc for DcqcnHostCc {
             // NP-side CNP coalescing: honor at most one mark per interval.
             let due = self
                 .last_cnp
-                .map_or(true, |t| ctx.now.saturating_since(t) >= self.p.cnp_interval);
+                .is_none_or(|t| ctx.now.saturating_since(t) >= self.p.cnp_interval);
             if due {
                 self.last_cnp = Some(ctx.now);
                 self.cut_rate(ctx);
@@ -248,7 +248,7 @@ impl HostCc for DcqcnHostCc {
         if matches!(fb, rocc_sim::cc::FeedbackEvent::DcqcnCnp) {
             let due = self
                 .last_cnp
-                .map_or(true, |t| ctx.now.saturating_since(t) >= self.p.cnp_interval);
+                .is_none_or(|t| ctx.now.saturating_since(t) >= self.p.cnp_interval);
             if due {
                 self.last_cnp = Some(ctx.now);
                 self.cut_rate(ctx);

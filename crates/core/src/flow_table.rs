@@ -72,7 +72,11 @@ impl FlowTable for InQueueTable {
 
     fn on_dequeue(&mut self, _now: SimTime, flow: FlowId) {
         if let Some(e) = self.counts.get_mut(&flow) {
-            e.0 -= 1;
+            // Saturating: enqueue/dequeue can desynchronize under fault
+            // churn (a crashed host's flow re-entering the queue while an
+            // entry count was already at its floor), and a stray dequeue
+            // must degrade to a no-op rather than panic on underflow.
+            e.0 = e.0.saturating_sub(1);
             if e.0 == 0 {
                 self.counts.remove(&flow);
             }
@@ -301,6 +305,23 @@ mod tests {
         let mut tab = InQueueTable::new();
         tab.on_dequeue(t(0), FlowId(99));
         assert!(tab.is_empty());
+    }
+
+    #[test]
+    fn in_queue_survives_desynchronized_churn() {
+        // Fault-injected crashes can replay dequeues for counts that were
+        // already drained; the table must stay consistent, never panic.
+        let mut tab = InQueueTable::new();
+        tab.on_enqueue(t(0), FlowId(1), NodeId(1), 0.0);
+        tab.on_dequeue(t(1), FlowId(1));
+        tab.on_dequeue(t(1), FlowId(1)); // stray duplicate
+        assert!(tab.is_empty());
+        // Re-entry after the churn behaves like a fresh flow.
+        tab.on_enqueue(t(2), FlowId(1), NodeId(2), 0.0);
+        assert_eq!(tab.len(), 1);
+        let mut out = Vec::new();
+        tab.recipients(t(2), &mut out);
+        assert_eq!(out[0].src, NodeId(2), "source updated on re-entry");
     }
 
     #[test]

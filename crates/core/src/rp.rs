@@ -102,8 +102,16 @@ impl HostCc for RoccHostCc {
             self.r_cur = self.r_max;
             return;
         }
-        // Alg. 2 line 12: exponential recovery.
-        self.r_cur = self.r_cur.saturating_double();
+        // Alg. 2 line 12: exponential recovery. A CNP may legitimately carry
+        // a fair rate of zero (f(Qcur) floors at 0 under severe congestion);
+        // doubling zero never makes progress, so recovery restarts from one
+        // ΔF unit instead — otherwise a flow that accepted a zero-rate CNP
+        // just before a CNP blackout would stay frozen at zero forever.
+        self.r_cur = if self.r_cur == BitRate::ZERO {
+            self.p.delta_f
+        } else {
+            self.r_cur.saturating_double()
+        };
         ctx.set_timer(RECOVERY_TOKEN, self.p.recovery_timer);
     }
 }
@@ -246,6 +254,28 @@ mod tests {
         r.on_timer(&mut c, RECOVERY_TOKEN); // 60 Gb/s internally
         assert!(r.is_installed());
         assert_eq!(r.decision().rate, BitRate::from_gbps(40), "capped at Rmax");
+    }
+
+    #[test]
+    fn recovery_escapes_zero_rate() {
+        // A zero-rate CNP followed by total CNP loss must not freeze the
+        // flow: recovery restarts from one ΔF unit and still uninstalls
+        // within a bounded number of periods.
+        let mut r = rp();
+        let mut c = ctx();
+        r.on_feedback(&mut c, cnp(0, cp(1)));
+        assert!(r.is_installed());
+        assert_eq!(r.r_cur(), BitRate::ZERO);
+        let mut periods = 0;
+        while r.is_installed() {
+            let mut c = ctx();
+            r.on_timer(&mut c, RECOVERY_TOKEN);
+            periods += 1;
+            assert!(periods <= 64, "recovery failed to terminate");
+        }
+        assert_eq!(r.decision().rate, BitRate::from_gbps(40));
+        // First period escapes zero; the rest double: ΔF · 2^(k-1) > Rmax.
+        assert!(periods >= 2);
     }
 
     #[test]

@@ -144,6 +144,41 @@ proptest! {
         prop_assert!(!rp.is_installed(), "recovery never uninstalled from {units} units");
         prop_assert_eq!(rp.decision().rate, line);
     }
+
+    /// Robustness under CNP blackout: from ANY reachable installed state —
+    /// arbitrary CNP histories, including zero-rate CNPs — a sustained lack
+    /// of accepted CNPs uninstalls the limiter within an explicit bound of
+    /// ceil(log2(Rmax/ΔF)) + 3 timer periods (one to escape a zero rate,
+    /// the doublings from ΔF past Rmax, and the uninstalling expiry).
+    #[test]
+    fn rp_recovery_bounded_from_any_state(
+        cnps in proptest::collection::vec((0u32..5000, 0usize..4), 1..40),
+    ) {
+        let line = BitRate::from_gbps(40);
+        let p = RpParams::default();
+        let mut rp = RoccHostCc::new(p, line);
+        for (units, cp_idx) in cnps {
+            let mut c = ctx();
+            rp.on_feedback(&mut c, FeedbackEvent::RoccCnp {
+                fair_rate_units: units,
+                cp: CpId { node: NodeId(cp_idx), port: PortId(0) },
+            });
+        }
+        prop_assume!(rp.is_installed());
+        let ratio = line.as_bps() / p.delta_f.as_bps().max(1);
+        let bound = (64 - ratio.leading_zeros() as u64) + 3;
+        let mut periods = 0u64;
+        while rp.is_installed() {
+            let mut c = ctx();
+            rp.on_timer(&mut c, rocc_core::rp::RECOVERY_TOKEN);
+            periods += 1;
+            prop_assert!(
+                periods <= bound,
+                "still installed after {} periods (bound {})", periods, bound
+            );
+        }
+        prop_assert_eq!(rp.decision().rate, line);
+    }
 }
 
 proptest! {

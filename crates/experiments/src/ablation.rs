@@ -287,8 +287,10 @@ pub fn ablate_cnp_priority(n: usize) -> Vec<AblationResult> {
             mean_goodput: goodputs.iter().sum::<f64>() / n as f64,
         }
     };
-    let mut no_prio = SimConfig::default();
-    no_prio.prioritize_control = false;
+    let no_prio = SimConfig {
+        prioritize_control: false,
+        ..SimConfig::default()
+    };
     vec![
         run("CNP priority on", SimConfig::default()),
         run("CNP priority off", no_prio),

@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Experiments: fig5 fig6 fig7 fig8 fig9 fig11 fig12a fig12b fig13 fig14
-//! fig15 fig16 table3 fig17 fig18 fig19 fig20 table1
+//! fig15 fig16 table3 fig17 fig18 fig19 fig20 table1 ablation chaos
 
 use rocc_experiments::fct::{
     fct_comparison, fold_increase, table3, BufferRegime, SchemeFcts, Workload,
@@ -364,6 +364,35 @@ fn run_ablation() {
     print(&ablation::ablate_cnp_priority(10));
 }
 
+fn run_chaos(scale: Scale) {
+    use rocc_experiments::chaos;
+    println!("== Chaos: RoCC vs DCQCN under CNP loss (finite flows, 40G dumbbell) ==");
+    println!(
+        "{:>10} {:>9} {:>11} {:>12} {:>12} {:>12} {:>10}",
+        "scheme", "cnp-loss", "completed", "mean FCT", "max FCT", "goodput", "cnps-lost"
+    );
+    for c in chaos::cnp_loss_sweep(scale) {
+        println!(
+            "{:>10} {:>8.1}% {:>8}/{:<2} {:>9.3}ms {:>9.3}ms {:>9.2}G/s {:>10}",
+            c.scheme.name(),
+            c.cnp_loss * 100.0,
+            c.completed,
+            c.flows,
+            c.mean_fct_ms,
+            c.max_fct_ms,
+            c.mean_goodput_bps / 1e9,
+            c.ctrl_lost
+        );
+    }
+    println!("== Chaos: total CNP blackout — fast recovery back to line rate ==");
+    let b = chaos::cnp_blackout(scale);
+    println!(
+        "throttled at {:.1} Gb/s; blackout from {}; recovered to {:.1} Gb/s ({} CNPs destroyed)",
+        b.pre_blackout_gbps, b.blackout_start, b.post_recovery_gbps, b.cnps_lost
+    );
+    print_series("flow-0 RP rate (Gb/s)", &b.rate, 8, "Gb/s", 1e9);
+}
+
 fn run_table1() {
     println!("== Table 1: comparison of selected congestion control solutions ==");
     for r in table1::table1() {
@@ -384,7 +413,7 @@ fn main() {
     let all = [
         "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig11", "fig12a", "fig12b",
         "fig13", "fig14", "fig15", "fig16", "table3", "fig17", "fig18", "fig19", "fig20",
-        "ablation",
+        "ablation", "chaos",
     ];
     let run_one = |name: &str| match name {
         "fig5" => run_fig5(),
@@ -412,6 +441,7 @@ fn main() {
         "fig20" => run_fold(scale, BufferRegime::Lossy3x, "Fig. 20", "lossy + go-back-N"),
         "table1" => run_table1(),
         "ablation" => run_ablation(),
+        "chaos" => run_chaos(scale),
         "probe" => {
             // Hidden: one paper-scale fat-tree run, for timing/feasibility.
             use rocc_experiments::fct::{run_fat_tree, FatTreeConfig};

@@ -1,0 +1,226 @@
+//! Chaos experiments: congestion control under injected faults.
+//!
+//! The paper's robustness claims (§3, §5) are qualitative: RoCC keeps
+//! working when the feedback loop itself is damaged, because CNPs are
+//! regenerated every T from switch state (nothing to resynchronize) and
+//! the RP's fast recovery bounds the damage of any lost CNP to one
+//! recovery-timer period. These experiments quantify that by driving the
+//! fault-injection layer of `rocc-sim` ([`FaultPlan`]):
+//!
+//! * [`cnp_loss_sweep`] — RoCC vs DCQCN on the dumbbell while 0.1–5% of
+//!   CNPs are dropped at random (data packets untouched). Reports flow
+//!   completions and FCT inflation per loss rate.
+//! * [`cnp_blackout`] — a single RoCC flow is throttled by competing
+//!   traffic, then the competitors stop at the same instant a total CNP
+//!   blackout begins. Only fast recovery can restore the rate; the
+//!   experiment records the RP rate trajectory back to line rate.
+
+use crate::micro::{self, tail_stats};
+use crate::scenarios;
+use crate::schemes::Scheme;
+use crate::Scale;
+use rocc_sim::prelude::*;
+
+/// CNP loss probabilities swept by [`cnp_loss_sweep`] (0 = fault-free
+/// baseline).
+pub const CNP_LOSS_GRID: [f64; 4] = [0.0, 0.001, 0.01, 0.05];
+
+/// One (scheme, CNP-loss-rate) cell of the chaos sweep.
+#[derive(Debug)]
+pub struct ChaosCell {
+    /// The scheme under test.
+    pub scheme: Scheme,
+    /// Per-CNP drop probability injected on every link.
+    pub cnp_loss: f64,
+    /// Finite flows offered.
+    pub flows: usize,
+    /// Flows that completed within the horizon.
+    pub completed: usize,
+    /// Mean flow completion time (ms) over completed flows.
+    pub mean_fct_ms: f64,
+    /// Worst flow completion time (ms).
+    pub max_fct_ms: f64,
+    /// Mean per-flow goodput (bits/s) over completed flows.
+    pub mean_goodput_bps: f64,
+    /// Control packets the fault layer dropped during the run.
+    pub ctrl_lost: u64,
+}
+
+/// RoCC vs DCQCN on the N-sender 40G dumbbell while CNPs are dropped
+/// uniformly at random with each probability in [`CNP_LOSS_GRID`]. Every
+/// sender ships one finite flow; the run ends when all complete or the
+/// horizon expires. Data packets are never touched, so FCT inflation and
+/// incompletions are attributable to the damaged feedback loop alone.
+pub fn cnp_loss_sweep(scale: Scale) -> Vec<ChaosCell> {
+    let (n, size, horizon) = match scale {
+        Scale::Quick => (8usize, 2_000_000u64, SimTime::from_millis(200)),
+        Scale::Paper => (16, 10_000_000, SimTime::from_millis(1000)),
+    };
+    let mut out = Vec::new();
+    for scheme in [Scheme::Rocc, Scheme::Dcqcn] {
+        for &loss in &CNP_LOSS_GRID {
+            let d = scenarios::dumbbell(n, BitRate::from_gbps(40));
+            let cfg = SimConfig {
+                fault_plan: FaultPlan::default().with_loss(FaultTarget::Cnp, loss),
+                ..SimConfig::default()
+            };
+            let mut sim = micro::sim_with(d.topo, scheme, 7, cfg);
+            for (i, &s) in d.senders.iter().enumerate() {
+                sim.add_flow(FlowSpec {
+                    id: FlowId(i as u64),
+                    src: s,
+                    dst: d.receiver,
+                    size,
+                    start: SimTime::ZERO,
+                    offered: None,
+                });
+            }
+            sim.run_until_flows_done(horizon);
+            let fcts: Vec<f64> = sim
+                .trace
+                .fcts
+                .iter()
+                .map(|r| r.fct().as_secs_f64())
+                .collect();
+            let completed = fcts.len();
+            let mean = if completed > 0 {
+                fcts.iter().sum::<f64>() / completed as f64
+            } else {
+                0.0
+            };
+            let max = fcts.iter().cloned().fold(0.0, f64::max);
+            let goodput = if mean > 0.0 {
+                fcts.iter().map(|f| size as f64 * 8.0 / f).sum::<f64>() / completed as f64
+            } else {
+                0.0
+            };
+            out.push(ChaosCell {
+                scheme,
+                cnp_loss: loss,
+                flows: n,
+                completed,
+                mean_fct_ms: mean * 1e3,
+                max_fct_ms: max * 1e3,
+                mean_goodput_bps: goodput,
+                ctrl_lost: sim.trace.faults.ctrl_lost,
+            });
+        }
+    }
+    out
+}
+
+/// Output of [`cnp_blackout`].
+#[derive(Debug)]
+pub struct BlackoutResult {
+    /// RP rate of the surviving flow (bits/s) over the whole run.
+    pub rate: Vec<Sample>,
+    /// Mean RP rate (Gb/s) over the throttled window just before the
+    /// blackout (expected ≈ the 10 Gb/s fair share of 4 flows).
+    pub pre_blackout_gbps: f64,
+    /// Mean RP rate (Gb/s) over the tail after the blackout began
+    /// (expected = 40 Gb/s line rate: fast recovery uninstalled the
+    /// limiter with zero CNP help).
+    pub post_recovery_gbps: f64,
+    /// When the competitors stopped and the CNP blackout began.
+    pub blackout_start: SimTime,
+    /// CNPs destroyed by the blackout.
+    pub cnps_lost: u64,
+}
+
+/// Total-CNP-blackout recovery: four RoCC flows share the 40G dumbbell,
+/// so flow 0 is held near 10 Gb/s by CNPs. At `blackout_start` flows 1–3
+/// stop *and* every CNP on every link is destroyed from then on. No
+/// feedback can ever tell flow 0 the bottleneck freed up; only the RP's
+/// fast-recovery doubling (Alg. 2) can lift it back to line rate. The
+/// paper's claim is that it does, within a handful of 100 µs periods.
+pub fn cnp_blackout(scale: Scale) -> BlackoutResult {
+    let (blackout_start, horizon) = match scale {
+        Scale::Quick => (SimTime::from_millis(8), SimTime::from_millis(16)),
+        Scale::Paper => (SimTime::from_millis(20), SimTime::from_millis(40)),
+    };
+    let d = scenarios::dumbbell(4, BitRate::from_gbps(40));
+    let cfg = SimConfig {
+        fault_plan: FaultPlan::default().with_loss_window(
+            FaultTarget::Cnp,
+            1.0,
+            blackout_start,
+            SimTime::MAX,
+        ),
+        ..SimConfig::default()
+    };
+    let mut sim = micro::sim_with(d.topo, Scheme::Rocc, 7, cfg);
+    sim.trace.sample_period = Some(SimDuration::from_micros(100));
+    sim.trace.watch_cc_rate(FlowId(0));
+    for (i, &s) in d.senders.iter().enumerate() {
+        sim.add_flow(FlowSpec {
+            id: FlowId(i as u64),
+            src: s,
+            dst: d.receiver,
+            size: u64::MAX,
+            start: SimTime::ZERO,
+            offered: None,
+        });
+        if i > 0 {
+            sim.stop_flow_at(FlowId(i as u64), blackout_start);
+        }
+    }
+    sim.run_until(horizon);
+    let rate = std::mem::take(&mut sim.trace.cc_rate_series[0]);
+    // Pre: the converged tail of the contended phase. Post: leave a few
+    // milliseconds for the queue to drain and recovery to double up.
+    let pre_from = SimTime::from_nanos(blackout_start.as_nanos() / 2);
+    let pre: Vec<Sample> = rate.iter().filter(|s| s.t < blackout_start).cloned().collect();
+    let (pre_mean, _) = tail_stats(&pre, pre_from);
+    let post_from =
+        SimTime::from_nanos((blackout_start.as_nanos() + horizon.as_nanos()) / 2);
+    let (post_mean, _) = tail_stats(&rate, post_from);
+    BlackoutResult {
+        rate,
+        pre_blackout_gbps: pre_mean / 1e9,
+        post_recovery_gbps: post_mean / 1e9,
+        blackout_start,
+        cnps_lost: sim.trace.faults.ctrl_lost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_loss_cell_is_faultless_and_complete() {
+        let cells = cnp_loss_sweep(Scale::Quick);
+        let base = cells
+            .iter()
+            .find(|c| c.scheme == Scheme::Rocc && c.cnp_loss == 0.0)
+            .unwrap();
+        assert_eq!(base.completed, base.flows);
+        assert_eq!(base.ctrl_lost, 0, "no faults may fire at p = 0");
+        // Every RoCC cell up to 1% CNP loss still completes all flows.
+        for c in cells.iter().filter(|c| c.scheme == Scheme::Rocc) {
+            if c.cnp_loss <= 0.01 {
+                assert_eq!(
+                    c.completed, c.flows,
+                    "RoCC lost flows at {}% CNP loss",
+                    c.cnp_loss * 100.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blackout_recovers_to_line_rate() {
+        let r = cnp_blackout(Scale::Quick);
+        assert!(r.cnps_lost > 0, "blackout must destroy CNPs");
+        assert!(
+            r.pre_blackout_gbps < 20.0,
+            "flow 0 not throttled pre-blackout: {:.1} Gb/s",
+            r.pre_blackout_gbps
+        );
+        assert!(
+            r.post_recovery_gbps > 35.0,
+            "fast recovery failed to restore line rate: {:.1} Gb/s",
+            r.post_recovery_gbps
+        );
+    }
+}

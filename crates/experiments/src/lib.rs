@@ -24,11 +24,16 @@
 //! | Fig. 19 (baseline verification) | [`micro::fig19`] |
 //! | Fig. 20 (lossy go-back-N) | [`fct::fold_increase`] |
 //! | Table 1 (qualitative) | [`table1::table1`] |
+//!
+//! Beyond the paper's figures, [`chaos`] stresses the robustness claims
+//! directly with the simulator's fault-injection layer (CNP loss sweeps
+//! and total-blackout recovery).
 
 #![warn(missing_docs)]
 
 pub mod ablation;
 pub mod analytic;
+pub mod chaos;
 pub mod csv;
 pub mod fct;
 pub mod micro;

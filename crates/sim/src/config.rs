@@ -1,5 +1,6 @@
 //! Simulation-wide configuration.
 
+use crate::fault::FaultPlan;
 use crate::time::SimDuration;
 use crate::units::{kb, BitRate};
 
@@ -54,8 +55,21 @@ impl PfcConfig {
     }
 
     /// Resume (XON) threshold corresponding to [`PfcConfig::xoff_for`].
+    ///
+    /// Robust to degenerate `resume_frac`: non-finite values collapse to 0,
+    /// the fraction is clamped to `[0, 1]`, and the result never exceeds the
+    /// pause threshold — so a misconfigured fraction can never produce
+    /// `xon > xoff` (which would resume upstream traffic while still above
+    /// the pause point and oscillate) or a nonsense cast from a negative or
+    /// NaN product.
     pub fn xon_for(&self, ingress_rate: BitRate) -> u64 {
-        (self.xoff_for(ingress_rate) as f64 * self.resume_frac) as u64
+        let xoff = self.xoff_for(ingress_rate);
+        let frac = if self.resume_frac.is_finite() {
+            self.resume_frac.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        ((xoff as f64 * frac) as u64).min(xoff)
     }
 }
 
@@ -85,6 +99,10 @@ pub struct SimConfig {
     /// Feedback/control packets ride a strict-priority queue at switch
     /// egress (the paper prioritizes CNPs, §3.3). Disable to ablate.
     pub prioritize_control: bool,
+    /// Declarative fault schedule for the run (loss, corruption, link flaps,
+    /// host pauses/crashes). The default plan is empty and leaves every
+    /// result bit-identical to a fault-free simulator.
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -99,6 +117,7 @@ impl Default for SimConfig {
             host_stack_jitter: SimDuration::ZERO,
             seed: 1,
             prioritize_control: true,
+            fault_plan: FaultPlan::default(),
         }
     }
 }
@@ -124,6 +143,36 @@ mod tests {
         assert_eq!(p.xoff_for(BitRate::from_gbps(10)), 500_000);
         assert_eq!(p.xoff_for(BitRate::from_gbps(100)), 800_000);
         assert_eq!(p.xon_for(BitRate::from_gbps(40)), 250_000);
+    }
+
+    #[test]
+    fn xon_robust_to_degenerate_resume_frac() {
+        let rate = BitRate::from_gbps(40);
+        let mk = |frac| PfcConfig {
+            resume_frac: frac,
+            ..PfcConfig::default()
+        };
+        // Out-of-range fractions clamp instead of producing xon > xoff or a
+        // bogus negative-to-u64 cast.
+        assert_eq!(mk(1.5).xon_for(rate), mk(1.0).xon_for(rate));
+        assert_eq!(mk(1.0).xon_for(rate), mk(1.0).xoff_for(rate));
+        assert_eq!(mk(-0.3).xon_for(rate), 0);
+        // Non-finite fractions are meaningless; fail safe to "resume only
+        // when fully drained" rather than guessing.
+        assert_eq!(mk(f64::NAN).xon_for(rate), 0);
+        assert_eq!(mk(f64::INFINITY).xon_for(rate), 0);
+        assert_eq!(mk(f64::NEG_INFINITY).xon_for(rate), 0);
+        // And the sane default is untouched.
+        assert_eq!(mk(0.5).xon_for(rate), 250_000);
+        for frac in [-1.0, 0.0, 0.25, 0.5, 0.9999, 1.0, 7.0, f64::NAN] {
+            let p = mk(frac);
+            assert!(p.xon_for(rate) <= p.xoff_for(rate));
+        }
+    }
+
+    #[test]
+    fn default_fault_plan_is_empty() {
+        assert!(SimConfig::default().fault_plan.is_empty());
     }
 
     #[test]

@@ -6,12 +6,11 @@
 
 use crate::cc::{FeedbackEvent, HostCcFactory, SwitchCcFactory};
 use crate::config::SimConfig;
+use crate::fault::{FaultDecision, FaultEvent, FaultState, FaultTarget};
 use crate::host::Host;
-use crate::packet::{FlowId, Packet};
+use crate::packet::{FlowId, Packet, PacketKind};
 use crate::switch::Switch;
-use crate::time::SimTime;
-#[cfg(test)]
-use crate::time::SimDuration;
+use crate::time::{SimDuration, SimTime};
 use crate::topology::{LinkId, NodeId, NodeRole, PortId, Topology};
 use crate::trace::Trace;
 use crate::units::BitRate;
@@ -21,6 +20,11 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 /// Everything that can happen.
+///
+/// `Arrive` dominates the size, but events live in the heap by value on
+/// the hottest path, so boxing the packet would trade a lint for an
+/// allocation per hop.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum Event {
     /// A packet reaches the receiving end of `link`.
@@ -86,6 +90,9 @@ pub enum Event {
     },
     /// Periodic trace sampling tick.
     Sample,
+    /// A scheduled fault transition (link flap edge, host pause / crash /
+    /// restore) from the run's [`crate::fault::FaultPlan`].
+    Fault(FaultEvent),
 }
 
 struct Scheduled {
@@ -120,17 +127,22 @@ pub struct Kernel {
     pub config: SimConfig,
     /// Deterministic run RNG.
     pub rng: StdRng,
+    /// Fault-injection runtime state: the plan, a dedicated PRNG independent
+    /// of [`Kernel::rng`], and which links/hosts are currently down.
+    pub faults: FaultState,
     heap: BinaryHeap<Reverse<Scheduled>>,
     seq: u64,
 }
 
 impl Kernel {
-    fn new(config: SimConfig) -> Self {
+    fn new(config: SimConfig, n_links: usize, n_nodes: usize) -> Self {
         let rng = StdRng::seed_from_u64(config.seed);
+        let faults = FaultState::new(config.fault_plan.clone(), config.seed, n_links, n_nodes);
         Kernel {
             now: SimTime::ZERO,
             config,
             rng,
+            faults,
             heap: BinaryHeap::new(),
             seq: 0,
         }
@@ -190,6 +202,8 @@ pub struct FlowMeta {
     pub offered: Option<BitRate>,
 }
 
+// One slot per node for the whole run; the size gap is irrelevant.
+#[allow(clippy::large_enum_variant)]
 enum NodeSlot {
     Host(Host),
     Switch(Switch),
@@ -217,7 +231,10 @@ impl Sim {
         host_cc: Box<dyn HostCcFactory>,
         switch_cc: Box<dyn SwitchCcFactory>,
     ) -> Self {
-        let mut kernel = Kernel::new(config);
+        let mut kernel = Kernel::new(config, topo.links().len(), topo.nodes().len());
+        for (at, fe) in kernel.faults.scheduled_events() {
+            kernel.schedule(at, Event::Fault(fe));
+        }
         let mut nodes = Vec::with_capacity(topo.nodes().len());
         for (i, info) in topo.nodes().iter().enumerate() {
             let id = NodeId(i);
@@ -299,9 +316,10 @@ impl Sim {
     /// Run until the virtual clock reaches `t_end` (events at exactly
     /// `t_end` are processed) or the event queue drains.
     pub fn run_until(&mut self, t_end: SimTime) {
-        if self.trace.sample_period.is_some() && self.kernel.now == SimTime::ZERO {
-            let p = self.trace.sample_period.unwrap();
-            self.kernel.schedule(SimTime::ZERO + p, Event::Sample);
+        if let Some(p) = self.trace.sample_period {
+            if self.kernel.now == SimTime::ZERO {
+                self.kernel.schedule(SimTime::ZERO + p, Event::Sample);
+            }
         }
         while let Some(s) = self.kernel.pop() {
             if s.at > t_end {
@@ -324,9 +342,10 @@ impl Sim {
             .iter()
             .filter(|f| f.size != u64::MAX)
             .count();
-        if self.trace.sample_period.is_some() && self.kernel.now == SimTime::ZERO {
-            let p = self.trace.sample_period.unwrap();
-            self.kernel.schedule(SimTime::ZERO + p, Event::Sample);
+        if let Some(p) = self.trace.sample_period {
+            if self.kernel.now == SimTime::ZERO {
+                self.kernel.schedule(SimTime::ZERO + p, Event::Sample);
+            }
         }
         while self.trace.fcts.len() < finite {
             let Some(s) = self.kernel.pop() else {
@@ -344,10 +363,76 @@ impl Sim {
         true
     }
 
+    /// Grace period for retrying events addressed to a host that is
+    /// currently paused or crashed (flow starts, pending CC timers).
+    const HOST_DOWN_RETRY: SimDuration = SimDuration::from_micros(100);
+
     fn dispatch(&mut self, ev: Event) {
         match ev {
-            Event::Arrive { link, pkt } => {
+            Event::Arrive { link, mut pkt } => {
                 let (to_node, to_port) = self.topo.link(link).to;
+                if self.kernel.faults.is_active() {
+                    // Packets in flight on a downed link die at the delivery
+                    // instant (deterministic, and covers both packets caught
+                    // by the flap and packets transmitted onto a dead link).
+                    if self.kernel.faults.link_is_down(link) {
+                        self.trace.faults.link_down_drops += 1;
+                        return;
+                    }
+                    if self.kernel.faults.host_is_down(to_node)
+                        && matches!(self.nodes[to_node.0], NodeSlot::Host(_))
+                    {
+                        self.trace.faults.host_down_drops += 1;
+                        return;
+                    }
+                    match self.kernel.faults.decide(self.kernel.now, link, &pkt.kind) {
+                        FaultDecision::Deliver => {}
+                        FaultDecision::Lose(target) => {
+                            // A CNP-class loss hitting an echo-bearing ACK
+                            // destroys only the congestion signal: real CNPs
+                            // travel separately from the ACK stream, so the
+                            // ACK itself survives with its echo stripped.
+                            if target == FaultTarget::Cnp {
+                                if let PacketKind::Ack { ecn_echo, .. } = &mut pkt.kind {
+                                    if *ecn_echo {
+                                        *ecn_echo = false;
+                                        self.trace.faults.ctrl_lost += 1;
+                                    }
+                                }
+                                if !matches!(pkt.kind, PacketKind::Ack { .. }) {
+                                    self.trace.faults.ctrl_lost += 1;
+                                    return;
+                                }
+                            } else {
+                                if pkt.is_data() {
+                                    self.trace.faults.data_lost += 1;
+                                } else {
+                                    self.trace.faults.ctrl_lost += 1;
+                                }
+                                return;
+                            }
+                        }
+                        FaultDecision::Corrupt => {
+                            if pkt.is_data() {
+                                self.trace.faults.data_corrupted += 1;
+                            } else {
+                                self.trace.faults.ctrl_corrupted += 1;
+                            }
+                            // Failed FCS: switches discard at ingress; hosts
+                            // discard too, but a corrupted data packet nudges
+                            // the receiver's go-back-N (see the host hook).
+                            if let NodeSlot::Host(h) = &mut self.nodes[to_node.0] {
+                                h.handle_corrupt_arrive(
+                                    &mut self.kernel,
+                                    &self.topo,
+                                    &mut self.trace,
+                                    pkt,
+                                );
+                            }
+                            return;
+                        }
+                    }
+                }
                 match &mut self.nodes[to_node.0] {
                     NodeSlot::Switch(sw) => {
                         sw.handle_arrive(&mut self.kernel, &self.topo, &mut self.trace, to_port, pkt)
@@ -367,11 +452,20 @@ impl Sim {
                 }
             }
             Event::HostTxDone { node } => {
+                if self.kernel.faults.host_is_down(node) {
+                    // The NIC went down mid-serialization: the packet never
+                    // reaches the wire. `revive` resets the TX path.
+                    self.trace.faults.host_down_drops += 1;
+                    return;
+                }
                 if let NodeSlot::Host(h) = &mut self.nodes[node.0] {
                     h.handle_tx_done(&mut self.kernel, &self.topo, &mut self.trace);
                 }
             }
             Event::HostWake { node } => {
+                if self.kernel.faults.host_is_down(node) {
+                    return; // revive restarts the TX path from scratch
+                }
                 if let NodeSlot::Host(h) = &mut self.nodes[node.0] {
                     h.handle_wake(&mut self.kernel, &self.topo, &mut self.trace);
                 }
@@ -387,11 +481,31 @@ impl Sim {
                 token,
                 gen,
             } => {
+                if self.kernel.faults.host_is_down(node) {
+                    // Timers freeze while the host is down; re-deliver later
+                    // with the same generation so CC timer chains (e.g. the
+                    // RoCC recovery timer) survive a pause. A crash bumps
+                    // every generation, so replayed timers die there.
+                    let at = self.kernel.now + Self::HOST_DOWN_RETRY;
+                    self.kernel.schedule(
+                        at,
+                        Event::HostCcTimer {
+                            node,
+                            flow,
+                            token,
+                            gen,
+                        },
+                    );
+                    return;
+                }
                 if let NodeSlot::Host(h) = &mut self.nodes[node.0] {
                     h.handle_cc_timer(&mut self.kernel, &self.topo, &mut self.trace, flow, token, gen);
                 }
             }
             Event::Feedback { node, flow, fb } => {
+                if self.kernel.faults.host_is_down(node) {
+                    return; // feedback pending in a dead NIC is lost
+                }
                 if let NodeSlot::Host(h) = &mut self.nodes[node.0] {
                     h.handle_feedback(&mut self.kernel, &self.topo, &mut self.trace, flow, fb);
                 }
@@ -399,6 +513,12 @@ impl Sim {
             Event::FlowStart { idx } => {
                 let spec = self.flows[idx];
                 let meta = self.flow_dir[&spec.id];
+                if self.kernel.faults.host_is_down(spec.src) {
+                    // The source is down; retry once it has come back.
+                    let at = self.kernel.now + Self::HOST_DOWN_RETRY;
+                    self.kernel.schedule(at, Event::FlowStart { idx });
+                    return;
+                }
                 if let NodeSlot::Host(h) = &mut self.nodes[spec.src.0] {
                     let line = h.line_rate();
                     let cc = self.host_cc.make(spec.id, line);
@@ -417,6 +537,57 @@ impl Sim {
                 }
             }
             Event::Sample => self.take_samples(),
+            Event::Fault(fe) => self.apply_fault(fe),
+        }
+    }
+
+    /// Apply a scheduled fault transition.
+    fn apply_fault(&mut self, fe: FaultEvent) {
+        match fe {
+            FaultEvent::LinkDown(l) => {
+                // A physical link failure takes out both directions of the
+                // full-duplex pair; everything in flight dies at delivery.
+                let rev = self.topo.reverse_link(l);
+                self.kernel.faults.set_link_down(l, true);
+                self.kernel.faults.set_link_down(rev, true);
+            }
+            FaultEvent::LinkUp(l) => {
+                let rev = self.topo.reverse_link(l);
+                self.kernel.faults.set_link_down(l, false);
+                self.kernel.faults.set_link_down(rev, false);
+                // PFC pause state on either end may be stale: PAUSE/RESUME
+                // frames in flight died with the link. Resynchronize both
+                // endpoints (each endpoint is `to` of one direction).
+                for lid in [l, rev] {
+                    let (to_node, to_port) = self.topo.link(lid).to;
+                    match &mut self.nodes[to_node.0] {
+                        NodeSlot::Host(h) => {
+                            h.on_link_restored(&mut self.kernel, &self.topo, &mut self.trace)
+                        }
+                        NodeSlot::Switch(sw) => sw.on_link_restored(
+                            &mut self.kernel,
+                            &self.topo,
+                            &mut self.trace,
+                            to_port,
+                        ),
+                    }
+                }
+            }
+            FaultEvent::HostPause(n) => {
+                self.kernel.faults.set_host_down(n, true);
+            }
+            FaultEvent::HostCrash(n) => {
+                self.kernel.faults.set_host_down(n, true);
+                if let NodeSlot::Host(h) = &mut self.nodes[n.0] {
+                    h.on_crash();
+                }
+            }
+            FaultEvent::HostRestore(n) => {
+                self.kernel.faults.set_host_down(n, false);
+                if let NodeSlot::Host(h) = &mut self.nodes[n.0] {
+                    h.revive(&mut self.kernel, &self.topo, &mut self.trace);
+                }
+            }
         }
     }
 
@@ -510,6 +681,7 @@ mod tests {
         assert!(fct.as_nanos() > 20_000, "FCT too small: {fct}");
         assert!(fct.as_nanos() < 100_000, "FCT too large: {fct}");
         assert_eq!(sim.trace.drops, 0);
+        assert_eq!(sim.trace.unroutable_drops, 0);
         assert_eq!(sim.trace.retx_bytes, 0);
     }
 
@@ -548,6 +720,7 @@ mod tests {
         // Both flows finish within 25% of each other (round-robin service).
         assert!((a - b2).abs() / a.max(b2) < 0.25, "unfair: {a} vs {b2}");
         assert_eq!(sim.trace.drops, 0);
+        assert_eq!(sim.trace.unroutable_drops, 0);
     }
 
     #[test]
@@ -618,6 +791,7 @@ mod tests {
         }
         assert!(sim.run_until_flows_done(SimTime::from_millis(100)));
         assert_eq!(sim.trace.drops, 0);
+        assert_eq!(sim.trace.unroutable_drops, 0);
         assert!(
             !sim.trace.pfc_events.is_empty(),
             "incast at line rate must trigger PFC"
@@ -662,6 +836,7 @@ mod tests {
             "flows must complete despite drops"
         );
         assert!(sim.trace.drops > 0, "tiny buffer incast must drop");
+        assert_eq!(sim.trace.unroutable_drops, 0);
         assert!(sim.trace.retx_bytes > 0, "go-back-N must retransmit");
     }
 

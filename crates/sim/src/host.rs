@@ -330,7 +330,7 @@ impl Host {
             let Some(fid) = self.ready.pop_front() else {
                 // Idle: wake when the earliest pacing wait matures.
                 if let Some(&Reverse((t, _))) = self.waiting.peek() {
-                    if self.wake_at.map_or(true, |w| w <= k.now || t < w) {
+                    if self.wake_at.is_none_or(|w| w <= k.now || t < w) {
                         self.wake_at = Some(t);
                         k.schedule(t, Event::HostWake { node: self.id });
                     }
@@ -520,6 +520,98 @@ impl Host {
         }
     }
 
+    /// A packet arrived with a failed FCS (fault-injected bit corruption).
+    /// The frame is discarded, but a corrupted *data* packet leaves a gap
+    /// the receiver can see — so, like an out-of-order arrival, it arms a
+    /// NACK to nudge the sender's go-back-N instead of waiting out a full
+    /// RTO. Corrupted control is dropped silently: ACKs are cumulative and
+    /// congestion feedback is periodic, so both repair themselves.
+    pub fn handle_corrupt_arrive(
+        &mut self,
+        k: &mut Kernel,
+        topo: &Topology,
+        trace: &mut Trace,
+        pkt: Packet,
+    ) {
+        if let PacketKind::Data { .. } = pkt.kind {
+            let rf = self.recv.entry(pkt.flow).or_default();
+            if !rf.complete && !rf.nack_armed {
+                rf.nack_armed = true;
+                let expected = rf.expected;
+                self.ctrl_q.push_back(Packet {
+                    flow: pkt.flow,
+                    src: self.id,
+                    dst: pkt.src,
+                    kind: PacketKind::Nack {
+                        expected_seq: expected,
+                    },
+                    ecn: false,
+                    int: IntStack::new(),
+                    sent_at: k.now,
+                });
+                self.try_send(k, topo, trace);
+            }
+        }
+    }
+
+    /// The NIC's attached link was restored after an outage. Any PFC pause
+    /// state from before the outage is stale (the pausing switch resyncs its
+    /// own side too), so clear it and restart transmission.
+    pub fn on_link_restored(&mut self, k: &mut Kernel, topo: &Topology, trace: &mut Trace) {
+        self.paused = false;
+        self.try_send(k, topo, trace);
+    }
+
+    /// Crash: NIC and transport soft state is lost — the in-flight frame,
+    /// queued ACKs/NACKs, pacing and wake bookkeeping, every pending timer,
+    /// and the unacked transmit window (senders roll back to the cumulative
+    /// ack). Receiver-side reassembly state is retained: it lives in host
+    /// memory the go-back-N protocol cannot renegotiate, and wiping it would
+    /// deadlock any sender mid-flow forever.
+    pub fn on_crash(&mut self) {
+        self.busy = false;
+        self.in_flight = None;
+        self.paused = false;
+        self.ctrl_q.clear();
+        self.ready.clear();
+        self.waiting.clear();
+        self.wake_at = None;
+        for f in self.flows.values_mut() {
+            f.next_seq = f.acked;
+            f.last_tx = None;
+            f.sched = SchedState::Idle;
+            f.wait_until = SimTime::ZERO;
+            // Invalidate every pending timer (they are replayed by the
+            // engine while the host is down and must die on arrival).
+            for g in f.timer_gen.iter_mut() {
+                *g = g.wrapping_add(1);
+            }
+        }
+    }
+
+    /// Come back from a pause or crash-restart: reset the TX path, re-arm
+    /// the retransmission timeout for every flow that still has unacked
+    /// data, and restart transmission. The RTO guarantees forward progress
+    /// even if every in-flight packet and pending event was destroyed
+    /// during the outage.
+    pub fn revive(&mut self, k: &mut Kernel, topo: &Topology, trace: &mut Trace) {
+        self.busy = false;
+        self.in_flight = None;
+        self.wake_at = None;
+        let fids: Vec<FlowId> = self.flows.keys().copied().collect();
+        for fid in fids {
+            let needs_rto = self
+                .flows
+                .get(&fid)
+                .is_some_and(|f| f.acked < f.next_seq || f.has_data());
+            if needs_rto {
+                self.arm_rto(k, fid);
+            }
+            self.activate(fid);
+        }
+        self.try_send(k, topo, trace);
+    }
+
     /// Queue a feedback packet for RP processing after the reaction delay
     /// (paper: 15 µs), plus the host-stack latency in the testbed profile.
     fn deliver_feedback(&mut self, k: &mut Kernel, flow: FlowId, fb: FeedbackEvent) {
@@ -645,22 +737,20 @@ impl Host {
                     end: k.now,
                 });
             }
-        } else if seq > rf.expected {
-            if !rf.nack_armed {
-                rf.nack_armed = true;
-                let expected = rf.expected;
-                self.ctrl_q.push_back(Packet {
-                    flow: pkt.flow,
-                    src: self.id,
-                    dst: pkt.src,
-                    kind: PacketKind::Nack {
-                        expected_seq: expected,
-                    },
-                    ecn: false,
-                    int: IntStack::new(),
-                    sent_at: k.now,
-                });
-            }
+        } else if seq > rf.expected && !rf.nack_armed {
+            rf.nack_armed = true;
+            let expected = rf.expected;
+            self.ctrl_q.push_back(Packet {
+                flow: pkt.flow,
+                src: self.id,
+                dst: pkt.src,
+                kind: PacketKind::Nack {
+                    expected_seq: expected,
+                },
+                ecn: false,
+                int: IntStack::new(),
+                sent_at: k.now,
+            });
         }
         // Always ACK cumulatively, echoing this packet's congestion signals.
         let cum = self.recv.get(&pkt.flow).map(|r| r.expected).unwrap_or(0);

@@ -65,6 +65,7 @@
 pub mod cc;
 pub mod config;
 pub mod engine;
+pub mod fault;
 pub mod host;
 pub mod packet;
 pub mod switch;
@@ -82,9 +83,13 @@ pub mod prelude {
     };
     pub use crate::config::{BufferMode, PfcConfig, SimConfig};
     pub use crate::engine::{Event, FlowMeta, FlowSpec, Kernel, Sim};
+    pub use crate::fault::{
+        FaultDecision, FaultEvent, FaultPlan, FaultState, FaultTarget, HostFault, HostFaultKind,
+        LinkFault, LinkFlap,
+    };
     pub use crate::packet::{CpId, FlowId, IntHop, IntStack, Packet, PacketKind};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::topology::{LinkId, NodeId, NodeRole, PortId, Topology, TopologyBuilder};
-    pub use crate::trace::{FctRecord, PfcEvent, Sample, Trace};
+    pub use crate::trace::{FaultCounters, FctRecord, PfcEvent, Sample, Trace};
     pub use crate::units::{kb, mb, BitRate};
 }

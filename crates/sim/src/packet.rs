@@ -99,6 +99,11 @@ impl IntStack {
 }
 
 /// What a packet is.
+///
+/// The `Ack` variant carries the INT stack and dominates the size; the
+/// enum stays `Copy` on purpose (packets are moved through queues by
+/// value), so boxing the large variant is not an option.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PacketKind {
     /// Application payload carried by the reliable transport.

@@ -185,9 +185,10 @@ impl Switch {
             }
             _ => {
                 let Some(egress) = topo.route(self.id, pkt.dst, pkt.flow) else {
-                    // Unroutable packets are silently dropped (should not
-                    // happen in well-formed experiments).
-                    trace.drops += 1;
+                    // Unroutable packets are dropped and counted apart from
+                    // congestion drops: any nonzero count flags a topology
+                    // or routing bug, not load.
+                    trace.unroutable_drops += 1;
                     return;
                 };
                 self.enqueue(k, topo, trace, egress, Some(in_port), pkt);
@@ -206,6 +207,14 @@ impl Switch {
         ingress: Option<PortId>,
         mut pkt: Packet,
     ) {
+        // An egress interface whose link is administratively down drops at
+        // enqueue (all classes): nothing accumulates behind a dead port, and
+        // PFC never backpressures traffic that could not be delivered anyway.
+        if k.faults.is_active() && k.faults.link_is_down(self.ports[egress.0].link) {
+            trace.faults.link_down_drops += 1;
+            return;
+        }
+
         let wire = pkt.wire_bytes();
         let is_ctrl = pkt.kind.is_control();
         if is_ctrl && k.config.prioritize_control {
@@ -295,7 +304,7 @@ impl Switch {
                 sent_at: k.now,
             };
             let Some(egress) = topo.route(self.id, e.to, e.flow) else {
-                trace.drops += 1;
+                trace.unroutable_drops += 1;
                 continue;
             };
             trace.ctrl_emitted += 1;
@@ -406,6 +415,30 @@ impl Switch {
                 },
             );
         }
+    }
+
+    /// The link attached to port `p` came back after an outage. PFC state on
+    /// both ends is stale — PAUSE/RESUME frames in flight died with the link
+    /// — so resynchronize: forget any PAUSE received from the peer, and if we
+    /// had PAUSEd the peer, re-assert it while this ingress is still above
+    /// the XON threshold (otherwise treat it as resumed).
+    pub fn on_link_restored(
+        &mut self,
+        k: &mut Kernel,
+        topo: &Topology,
+        trace: &mut Trace,
+        p: PortId,
+    ) {
+        self.ports[p.0].paused = false;
+        if self.sent_xoff[p.0] {
+            let in_rate = topo.link(topo.node(self.id).in_links[p.0]).rate;
+            if self.ingress_buffered[p.0] >= k.config.pfc.xon_for(in_rate) {
+                self.send_pfc(k, topo, p, PacketKind::PfcPause);
+            } else {
+                self.sent_xoff[p.0] = false;
+            }
+        }
+        self.try_start_tx(k, topo, trace, p);
     }
 
     /// Exact simulation-time snapshot of a port's state (sampling support).

@@ -51,6 +51,39 @@ pub struct PfcEvent {
     pub port: PortId,
 }
 
+/// Counts of packets destroyed by injected faults, per class. Kept separate
+/// from congestion [`Trace::drops`] so experiments can attribute loss to the
+/// fault plan versus to queue overflow.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Data packets lost to random link loss.
+    pub data_lost: u64,
+    /// Control packets (ACK/NACK/feedback) lost to random link loss.
+    pub ctrl_lost: u64,
+    /// Data packets delivered corrupted and discarded at the receiver.
+    pub data_corrupted: u64,
+    /// Control packets delivered corrupted and discarded at the receiver.
+    pub ctrl_corrupted: u64,
+    /// Packets of any class destroyed because their link was down (in
+    /// flight at the flap instant, or transmitted onto a dead link).
+    pub link_down_drops: u64,
+    /// Packets of any class discarded because their destination host was
+    /// paused or crashed.
+    pub host_down_drops: u64,
+}
+
+impl FaultCounters {
+    /// Total packets destroyed by fault injection across all classes.
+    pub fn total(&self) -> u64 {
+        self.data_lost
+            + self.ctrl_lost
+            + self.data_corrupted
+            + self.ctrl_corrupted
+            + self.link_down_drops
+            + self.host_down_drops
+    }
+}
+
 /// Everything recorded during one run.
 #[derive(Debug, Default)]
 pub struct Trace {
@@ -82,8 +115,16 @@ pub struct Trace {
     pub tx_data_bytes: u64,
     /// Total feedback packets (RoCC CNPs / QCN Fb) emitted by switches.
     pub ctrl_emitted: u64,
-    /// Total packets dropped at switches (lossy mode).
+    /// Packets dropped at switches by queue overflow (lossy mode tail
+    /// drops). Routing failures and injected faults are counted separately
+    /// in [`Trace::unroutable_drops`] and [`Trace::faults`].
     pub drops: u64,
+    /// Packets discarded at a switch because no route to the destination
+    /// existed. Distinct from congestion [`Trace::drops`]: any nonzero value
+    /// here indicates a topology/routing bug, not load.
+    pub unroutable_drops: u64,
+    /// Packets destroyed by injected faults, by class.
+    pub faults: FaultCounters,
     /// Peak egress-queue depth observed per watched queue (exact, not
     /// sampled), parallel to `watched_queues`.
     pub queue_peak: Vec<u64>,
@@ -238,7 +279,7 @@ impl Trace {
         period: SimDuration,
     ) {
         let delta = tx_bytes - self.tx_at_last_sample[idx];
-        self.tx_at_last_sample[idx] = delta + self.tx_at_last_sample[idx];
+        self.tx_at_last_sample[idx] += delta;
         self.port_tput_series[idx].push(Sample {
             t,
             v: delta as f64 * 8.0 / period.as_secs_f64(),
@@ -291,6 +332,17 @@ mod tests {
         // Next window delivers nothing.
         tr.sample_flow_rates(SimTime::from_millis(2), SimDuration::from_millis(1));
         assert_eq!(tr.flow_rate_series[0][1].v, 0.0);
+    }
+
+    #[test]
+    fn fault_counters_total() {
+        let mut f = FaultCounters::default();
+        assert_eq!(f.total(), 0);
+        f.data_lost = 3;
+        f.ctrl_corrupted = 2;
+        f.link_down_drops = 1;
+        f.host_down_drops = 4;
+        assert_eq!(f.total(), 10);
     }
 
     #[test]

@@ -53,7 +53,7 @@ impl BitRate {
         assert!(self.0 > 0, "cannot serialize at zero rate");
         let bits = bytes * 8;
         // ceil(bits * 1e9 / rate) using u128 to avoid overflow.
-        let ns = ((bits as u128) * 1_000_000_000 + (self.0 as u128 - 1)) / self.0 as u128;
+        let ns = ((bits as u128) * 1_000_000_000).div_ceil(self.0 as u128);
         SimDuration::from_nanos(ns as u64)
     }
 

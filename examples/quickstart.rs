@@ -62,8 +62,8 @@ fn main() {
 
     println!("Per-flow goodput over the measurement window:");
     let mut rates = Vec::new();
-    for i in 0..N {
-        let bytes = sim.trace.delivered_bytes(FlowId(i as u64)) - base[i];
+    for (i, &b) in base.iter().enumerate() {
+        let bytes = sim.trace.delivered_bytes(FlowId(i as u64)) - b;
         let gbps = bytes as f64 * 8.0 / 8e-3 / 1e9;
         rates.push(gbps);
         println!("  flow {i}: {gbps:.2} Gb/s");

@@ -1,0 +1,132 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the harness surface the workspace's `harness = false` bench
+//! targets use: [`Criterion`], [`Criterion::benchmark_group`],
+//! `bench_function`, [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Instead of statistical analysis it runs each
+//! benchmark a small fixed number of iterations and prints the mean wall
+//! time — enough to keep `cargo bench` compiling, running, and producing a
+//! comparable number, without the plotting/analysis stack.
+
+use std::time::{Duration, Instant};
+
+/// Iterations per benchmark. Deliberately small: these benches wrap whole
+/// simulations, and the stub exists for smoke coverage, not rigor.
+const ITERS: u32 = 3;
+
+/// Runs closures and records their timing.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Time `f`, running it a fixed number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(label: &str, iters: u32, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.checked_div(iters).unwrap_or(Duration::ZERO);
+    println!("bench {label:<50} {per_iter:>12.3?}/iter ({iters} iters)");
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, ITERS, &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upstream tunes the statistical sample count; the stub ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), ITERS, &mut f);
+        self
+    }
+
+    /// End the group (upstream finalizes reports here; the stub is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a group runner, mirroring upstream's
+/// simple `criterion_group!(name, target...)` form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running each group, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        benches();
+    }
+}
