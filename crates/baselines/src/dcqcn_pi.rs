@@ -116,6 +116,8 @@ mod tests {
             tx_bytes: 0,
             rng,
             emits: Vec::new(),
+            events: Vec::new(),
+            event_mask: rocc_sim::telemetry::EventMask::NONE,
         }
     }
 

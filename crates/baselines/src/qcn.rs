@@ -241,6 +241,8 @@ mod tests {
             link_rate: BitRate::from_gbps(40),
             set_timers: Vec::new(),
             cancel_timers: Vec::new(),
+            events: Vec::new(),
+            event_mask: rocc_sim::telemetry::EventMask::NONE,
         }
     }
 
@@ -286,6 +288,8 @@ mod tests {
                 tx_bytes: 0,
                 rng: &mut rng,
                 emits: Vec::new(),
+                events: Vec::new(),
+                event_mask: rocc_sim::telemetry::EventMask::NONE,
             };
             cc.on_enqueue(&mut c, meta);
             emitted += c.emits.len();

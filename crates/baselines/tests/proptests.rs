@@ -17,6 +17,8 @@ fn ctx_at(us: u64) -> HostCcCtx {
         link_rate: BitRate::from_gbps(40),
         set_timers: Vec::new(),
         cancel_timers: Vec::new(),
+        events: Vec::new(),
+        event_mask: rocc_sim::telemetry::EventMask::NONE,
     }
 }
 

@@ -36,6 +36,10 @@ pub struct FairRateCalculator {
     beta_static: Fx,
     /// Gains selected by the most recent auto-tune (telemetry/tests).
     last_gains: (Fx, Fx),
+    /// Auto-tune region chosen by the most recent auto-tune (0..=5).
+    last_region: u32,
+    /// Snapshot of the most recent update (telemetry).
+    last_update: Option<LastUpdate>,
 }
 
 /// Which branch of Alg. 1 produced the latest rate (telemetry/tests).
@@ -47,6 +51,38 @@ pub enum UpdateKind {
     MdHalve,
     /// PI update (Alg. 1 line 8).
     Pi,
+}
+
+impl From<UpdateKind> for rocc_sim::telemetry::CpDecisionKind {
+    fn from(k: UpdateKind) -> Self {
+        match k {
+            UpdateKind::MdToMin => rocc_sim::telemetry::CpDecisionKind::MdToMin,
+            UpdateKind::MdHalve => rocc_sim::telemetry::CpDecisionKind::MdHalve,
+            UpdateKind::Pi => rocc_sim::telemetry::CpDecisionKind::Pi,
+        }
+    }
+}
+
+/// Full description of the most recent [`FairRateCalculator::update`] —
+/// everything the decision-level telemetry wants to attribute one Alg. 1
+/// tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LastUpdate {
+    /// Which branch fired.
+    pub kind: UpdateKind,
+    /// Fair rate after the update, in multiples of ΔF.
+    pub fair_rate_units: u32,
+    /// Proportional gain in force (the most recent auto-tune selection;
+    /// MD branches do not re-tune, so this is the gain the *next* PI tick
+    /// would start from).
+    pub alpha: f64,
+    /// Integral gain in force.
+    pub beta: f64,
+    /// Auto-tune region (0 = F ≥ Fmax/2 … 5 = smallest gains). Remains at
+    /// its previous value on MD branches, 0 when auto-tune is disabled.
+    pub region: u32,
+    /// Queue depth consumed by the update, in bytes.
+    pub q_cur_bytes: u64,
 }
 
 impl FairRateCalculator {
@@ -62,6 +98,8 @@ impl FairRateCalculator {
                 Fx::from_f64(p.alpha_static),
                 Fx::from_f64(p.beta_static),
             ),
+            last_region: 0,
+            last_update: None,
             p,
         }
     }
@@ -92,6 +130,13 @@ impl FairRateCalculator {
         (self.last_gains.0.to_f64(), self.last_gains.1.to_f64())
     }
 
+    /// Snapshot of the most recent [`FairRateCalculator::update`], or
+    /// `None` before the first tick. This is the decision-telemetry
+    /// surface: branch taken, rate, gains, auto-tune region, queue input.
+    pub fn last_update(&self) -> Option<LastUpdate> {
+        self.last_update
+    }
+
     /// Alg. 1 `Auto_Tune`: quantize `[Fmin, Fmax]` into six power-of-two
     /// regions and scale the static gains by the region's ratio.
     fn auto_tune(&mut self) -> (Fx, Fx) {
@@ -107,6 +152,7 @@ impl FairRateCalculator {
         let shift = ratio.trailing_zeros();
         let gains = (self.alpha_static.shr(shift), self.beta_static.shr(shift));
         self.last_gains = gains;
+        self.last_region = shift;
         gains
     }
 
@@ -142,7 +188,16 @@ impl FairRateCalculator {
             Fx::from_int(self.p.f_max as i64),
         );
         self.q_old = q_cur;
-        (self.fair_rate_units(), kind)
+        let units = self.fair_rate_units();
+        self.last_update = Some(LastUpdate {
+            kind,
+            fair_rate_units: units,
+            alpha: self.last_gains.0.to_f64(),
+            beta: self.last_gains.1.to_f64(),
+            region: self.last_region,
+            q_cur_bytes,
+        });
+        (units, kind)
     }
 }
 

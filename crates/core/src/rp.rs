@@ -13,6 +13,7 @@
 use crate::params::RpParams;
 use rocc_sim::cc::{FeedbackEvent, HostCc, HostCcCtx, RateDecision};
 use rocc_sim::prelude::{BitRate, CpId};
+use rocc_sim::telemetry::{CcEvent, EventMask, RpTransitionKind};
 
 /// Timer token used for fast recovery.
 pub const RECOVERY_TOKEN: u8 = 0;
@@ -82,11 +83,27 @@ impl HostCc for RoccHostCc {
             || r_rcvd <= self.r_cur
             || self.cp_cur == Some(cp);
         if accept {
+            // Classify before mutating: install vs. CP switch vs. a plain
+            // rate update from the CP already being followed.
+            let kind = if !self.installed {
+                RpTransitionKind::Install
+            } else if self.cp_cur != Some(cp) {
+                RpTransitionKind::CpSwitch
+            } else {
+                RpTransitionKind::RateUpdate
+            };
             self.r_cur = r_rcvd;
             self.cp_cur = Some(cp);
             self.installed = true;
             // Accepting a CNP (re)arms — i.e. resets — the recovery timer.
             ctx.set_timer(RECOVERY_TOKEN, self.p.recovery_timer);
+            if ctx.wants(EventMask::RP_TRANSITION) {
+                ctx.events.push(CcEvent::RpTransition {
+                    kind,
+                    rate_bps: self.r_cur.as_bps(),
+                    cp: self.cp_cur,
+                });
+            }
         }
     }
 
@@ -100,6 +117,13 @@ impl HostCc for RoccHostCc {
             self.installed = false;
             self.cp_cur = None;
             self.r_cur = self.r_max;
+            if ctx.wants(EventMask::RP_TRANSITION) {
+                ctx.events.push(CcEvent::RpTransition {
+                    kind: RpTransitionKind::Uninstall,
+                    rate_bps: self.r_cur.as_bps(),
+                    cp: None,
+                });
+            }
             return;
         }
         // Alg. 2 line 12: exponential recovery. A CNP may legitimately carry
@@ -113,6 +137,13 @@ impl HostCc for RoccHostCc {
             self.r_cur.saturating_double()
         };
         ctx.set_timer(RECOVERY_TOKEN, self.p.recovery_timer);
+        if ctx.wants(EventMask::RP_TRANSITION) {
+            ctx.events.push(CcEvent::RpTransition {
+                kind: RpTransitionKind::RecoveryDouble,
+                rate_bps: self.r_cur.as_bps(),
+                cp: self.cp_cur,
+            });
+        }
     }
 }
 
@@ -151,6 +182,8 @@ mod tests {
             link_rate: BitRate::from_gbps(40),
             set_timers: Vec::new(),
             cancel_timers: Vec::new(),
+            events: Vec::new(),
+            event_mask: EventMask::ALL,
         }
     }
 

@@ -10,6 +10,7 @@ use crate::flow_table::{FlowEntry, FlowTable, FlowTablePolicy};
 use crate::params::CpParams;
 use rocc_sim::cc::{CtrlEmit, PacketMeta, SwitchCc, SwitchCcCtx, SwitchCcFactory};
 use rocc_sim::prelude::{BitRate, CpId, IntHop, PacketKind, SimDuration};
+use rocc_sim::telemetry::{CcEvent, EventMask};
 use rand::Rng;
 
 /// Where the fair-rate computation runs (paper §3.6).
@@ -89,7 +90,23 @@ impl SwitchCc for RoccSwitchCc {
             }
             return;
         }
-        let (units, _) = self.calc.update(ctx.qlen_bytes);
+        let (units, kind) = self.calc.update(ctx.qlen_bytes);
+        if ctx.wants(EventMask::CP_DECISION) {
+            // The decision fires every tick, congested or not — the PI
+            // branch raising F back toward Fmax is as diagnostic as MD.
+            let lu = self
+                .calc
+                .last_update()
+                .expect("update() was just called");
+            ctx.events.push(CcEvent::CpDecision {
+                kind: kind.into(),
+                fair_rate_units: units,
+                alpha: lu.alpha,
+                beta: lu.beta,
+                region: lu.region,
+                qlen_bytes: ctx.qlen_bytes,
+            });
+        }
         if !self.calc.is_congested() {
             return; // uncongested ports stay silent (§3.4: feedback goes
                     // only to flows causing congestion)
@@ -206,6 +223,8 @@ mod tests {
             tx_bytes: 0,
             rng,
             emits: Vec::new(),
+            events: Vec::new(),
+            event_mask: EventMask::ALL,
         }
     }
 

@@ -13,6 +13,8 @@ fn ctx() -> HostCcCtx {
         link_rate: BitRate::from_gbps(40),
         set_timers: Vec::new(),
         cancel_timers: Vec::new(),
+        events: Vec::new(),
+        event_mask: rocc_sim::telemetry::EventMask::NONE,
     }
 }
 

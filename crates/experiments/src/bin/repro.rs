@@ -470,6 +470,57 @@ fn main() {
         }
     };
     match exp {
+        "trace" => {
+            let scenario = args.get(2).map(String::as_str).unwrap_or("incast");
+            let dir = args.get(3).map(String::as_str).unwrap_or("trace_out");
+            let scale = args
+                .get(4)
+                .and_then(|s| Scale::parse(s))
+                .unwrap_or(Scale::Quick);
+            let names: Vec<&str> = if scenario == "all" {
+                rocc_experiments::trace::SCENARIOS.to_vec()
+            } else {
+                vec![scenario]
+            };
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {dir}: {e}");
+                std::process::exit(1);
+            }
+            let mut bench = Vec::new();
+            for name in names {
+                let Some(r) = rocc_experiments::trace::run(name, scale) else {
+                    eprintln!("unknown trace scenario: {name}");
+                    eprintln!(
+                        "scenarios: {} all",
+                        rocc_experiments::trace::SCENARIOS.join(" ")
+                    );
+                    std::process::exit(2);
+                };
+                let timeline = format!("{dir}/trace_{name}.jsonl");
+                let summary = format!("{dir}/trace_{name}_summary.json");
+                std::fs::write(&timeline, r.timeline_jsonl()).expect("write timeline");
+                std::fs::write(&summary, &r.summary_json).expect("write summary");
+                println!(
+                    "{name}: {} events ({} drop, {} pfc, {} cnp, {} cp_decision, {} rp_transition, {} fault), {}/{} flows completed",
+                    r.events.len(),
+                    r.counts.drop,
+                    r.counts.pfc,
+                    r.counts.cnp,
+                    r.counts.cp_decision,
+                    r.counts.rp_transition,
+                    r.counts.fault,
+                    r.completed,
+                    r.flows,
+                );
+                println!("  wrote {timeline}");
+                println!("  wrote {summary}");
+                bench.push(format!("\"{name}\":{}", r.bench_json));
+            }
+            let bench_path = format!("{dir}/BENCH_sim.json");
+            std::fs::write(&bench_path, format!("{{{}}}", bench.join(",")))
+                .expect("write bench");
+            println!("  wrote {bench_path}");
+        }
         "dump" => {
             let dir = args.get(2).map(String::as_str).unwrap_or("repro_data");
             let scale = args
@@ -498,7 +549,12 @@ fn main() {
         "help" | "--help" | "-h" => {
             println!("usage: repro <experiment|all> [quick|paper]");
             println!("       repro dump <dir> [quick|paper]   (plot-ready CSVs)");
+            println!("       repro trace <scenario|all> [dir] [quick|paper]   (telemetry timeline + BENCH_sim.json)");
             println!("experiments: {}", all.join(" "));
+            println!(
+                "trace scenarios: {}",
+                rocc_experiments::trace::SCENARIOS.join(" ")
+            );
         }
         name => run_one(name),
     }

@@ -27,7 +27,10 @@
 //!
 //! Beyond the paper's figures, [`chaos`] stresses the robustness claims
 //! directly with the simulator's fault-injection layer (CNP loss sweeps
-//! and total-blackout recovery).
+//! and total-blackout recovery), and [`trace`] replays micro scenarios
+//! with the structured telemetry layer enabled, exporting the typed
+//! event timeline, the metrics registry, and simulator self-profiling
+//! (`repro trace <scenario>`).
 
 #![warn(missing_docs)]
 
@@ -40,6 +43,7 @@ pub mod micro;
 pub mod scenarios;
 pub mod schemes;
 pub mod table1;
+pub mod trace;
 
 pub use schemes::Scheme;
 

@@ -1,0 +1,368 @@
+//! `repro trace <scenario>`: run one micro scenario with full telemetry
+//! and export three artifacts —
+//!
+//! 1. the typed event timeline as JSONL (one [`SimEvent`] per line),
+//! 2. a run summary JSON: per-class event counts, Alg. 1 branch counts,
+//!    Alg. 2 transition counts, and the full metrics registry
+//!    (counters + FCT / queue-depth / CNP-gap histograms),
+//! 3. simulator self-profiling in the `BENCH_sim.json` shape
+//!    (events processed, events/sec, wall-clock per simulated second,
+//!    peak event-queue length).
+//!
+//! Two scenarios cover every event class between them:
+//!
+//! * [`incast`] — N-to-1 RoCC incast with a pinch of injected data loss
+//!   and one link flap: drops (fault + link-down), PFC pause/resume, CNP
+//!   emission, CP decisions, RP installs/updates, and fault transitions.
+//! * [`recovery`] — the chaos blackout (competitors stop as every CNP
+//!   dies): the RP side of Alg. 2 in full — fast-recovery doubling up to
+//!   the limiter uninstall, with zero feedback help.
+
+use crate::micro;
+use crate::scenarios;
+use crate::schemes::Scheme;
+use crate::Scale;
+use rocc_sim::prelude::*;
+
+/// Scenario names accepted by [`run`].
+pub const SCENARIOS: [&str; 2] = ["incast", "recovery"];
+
+/// Event counts per class for one traced run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassCounts {
+    /// Packet drops (any cause).
+    pub drop: u64,
+    /// PFC pause + resume frames.
+    pub pfc: u64,
+    /// Feedback (CNP) emissions.
+    pub cnp: u64,
+    /// CP fair-rate update decisions.
+    pub cp_decision: u64,
+    /// RP state transitions.
+    pub rp_transition: u64,
+    /// Fault-plan transitions.
+    pub fault: u64,
+}
+
+impl ClassCounts {
+    fn tally(events: &[SimEvent]) -> ClassCounts {
+        let mut c = ClassCounts::default();
+        for e in events {
+            match e.class() {
+                EventMask::DROP => c.drop += 1,
+                EventMask::PFC => c.pfc += 1,
+                EventMask::CNP => c.cnp += 1,
+                EventMask::CP_DECISION => c.cp_decision += 1,
+                EventMask::RP_TRANSITION => c.rp_transition += 1,
+                _ => c.fault += 1,
+            }
+        }
+        c
+    }
+}
+
+/// Everything one traced run produced.
+#[derive(Debug)]
+pub struct TraceRun {
+    /// Scenario name (an entry of [`SCENARIOS`]).
+    pub scenario: &'static str,
+    /// The full event timeline, in emission order.
+    pub events: Vec<SimEvent>,
+    /// Per-class event counts over [`TraceRun::events`].
+    pub counts: ClassCounts,
+    /// Flows offered.
+    pub flows: usize,
+    /// Flows that completed within the horizon (0 for the open-ended
+    /// `recovery` scenario, whose flows are infinite by design).
+    pub completed: usize,
+    /// Run summary as one JSON document (counts, decision/transition
+    /// breakdowns, metrics registry, profile).
+    pub summary_json: String,
+    /// Simulator self-profile in the `BENCH_sim.json` shape.
+    pub bench_json: String,
+}
+
+impl TraceRun {
+    /// The timeline as JSONL (one event per line, trailing newline).
+    pub fn timeline_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Count CP decisions of one Alg. 1 branch.
+fn cp_kind_count(events: &[SimEvent], want: CpDecisionKind) -> u64 {
+    events
+        .iter()
+        .filter(|e| matches!(e, SimEvent::CpDecision { kind, .. } if *kind == want))
+        .count() as u64
+}
+
+/// Count RP transitions of one Alg. 2 kind.
+fn rp_kind_count(events: &[SimEvent], want: RpTransitionKind) -> u64 {
+    events
+        .iter()
+        .filter(|e| matches!(e, SimEvent::RpTransition { kind, .. } if *kind == want))
+        .count() as u64
+}
+
+/// Assemble a [`TraceRun`] from a finished simulation.
+fn finish(scenario: &'static str, mut sim: Sim, flows: usize) -> TraceRun {
+    let completed = sim.trace.fcts.len();
+    let bench_json = sim.profile().to_json();
+    let metrics_json = sim.trace.telemetry.metrics_json();
+    let events = std::mem::take(&mut sim.trace.telemetry.events);
+    let counts = ClassCounts::tally(&events);
+    let summary_json = format!(
+        concat!(
+            "{{\"scenario\":\"{}\",\"flows\":{},\"completed\":{},",
+            "\"events\":{{\"total\":{},\"drop\":{},\"pfc\":{},\"cnp\":{},",
+            "\"cp_decision\":{},\"rp_transition\":{},\"fault\":{}}},",
+            "\"cp_decisions\":{{\"md_to_min\":{},\"md_halve\":{},\"pi\":{}}},",
+            "\"rp_transitions\":{{\"install\":{},\"rate_update\":{},",
+            "\"cp_switch\":{},\"recovery_double\":{},\"uninstall\":{}}},",
+            "\"metrics\":{},\"profile\":{}}}"
+        ),
+        scenario,
+        flows,
+        completed,
+        events.len(),
+        counts.drop,
+        counts.pfc,
+        counts.cnp,
+        counts.cp_decision,
+        counts.rp_transition,
+        counts.fault,
+        cp_kind_count(&events, CpDecisionKind::MdToMin),
+        cp_kind_count(&events, CpDecisionKind::MdHalve),
+        cp_kind_count(&events, CpDecisionKind::Pi),
+        rp_kind_count(&events, RpTransitionKind::Install),
+        rp_kind_count(&events, RpTransitionKind::RateUpdate),
+        rp_kind_count(&events, RpTransitionKind::CpSwitch),
+        rp_kind_count(&events, RpTransitionKind::RecoveryDouble),
+        rp_kind_count(&events, RpTransitionKind::Uninstall),
+        metrics_json,
+        bench_json,
+    );
+    TraceRun {
+        scenario,
+        events,
+        counts,
+        flows,
+        completed,
+        summary_json,
+        bench_json,
+    }
+}
+
+/// N-to-1 RoCC incast on the 40G dumbbell with 0.5% injected data loss
+/// and one early link flap on the last sender's access link. Every event
+/// class fires: the synchronized start overflows the PFC threshold
+/// (pause/resume) and drives the CP through MD and PI branches (CNPs,
+/// decisions, RP installs); the fault plan contributes attributed drops
+/// and fault transitions.
+pub fn incast(scale: Scale) -> TraceRun {
+    let (n, size, horizon) = match scale {
+        Scale::Quick => (8usize, 2_000_000u64, SimTime::from_millis(200)),
+        Scale::Paper => (16, 10_000_000, SimTime::from_millis(1000)),
+    };
+    let d = scenarios::dumbbell(n, BitRate::from_gbps(40));
+    // Link ids follow connect order: 0 is switch→receiver, then one per
+    // sender; flap the last sender's access link early in the run.
+    let flap_link = LinkId(n);
+    let cfg = SimConfig {
+        fault_plan: FaultPlan::default()
+            .with_loss(FaultTarget::Data, 0.005)
+            .with_flap(
+                flap_link,
+                SimTime::from_micros(500),
+                SimTime::from_micros(1500),
+            ),
+        // RoCC normally holds per-ingress occupancy far below the 500 KB
+        // default xoff (that is the paper's point) — pull the threshold
+        // down so the start-of-incast transient exercises the PFC path,
+        // but keep N·xoff above Qmax (360 KB) so Alg. 1's MD branch still
+        // sees the queue overshoot before PFC freezes the senders.
+        pfc: PfcConfig {
+            xoff_40g: 64_000,
+            xoff_100g: 128_000,
+            resume_frac: 0.5,
+        },
+        ..SimConfig::default()
+    };
+    let mut sim = micro::sim_with(d.topo, Scheme::Rocc, 7, cfg);
+    sim.trace.telemetry.collect(EventMask::ALL);
+    sim.trace.telemetry.enable_metrics();
+    sim.trace.sample_period = Some(SimDuration::from_micros(10));
+    sim.trace.watch_queue(d.switch, d.bottleneck_port);
+    for (i, &s) in d.senders.iter().enumerate() {
+        sim.add_flow(FlowSpec {
+            id: FlowId(i as u64),
+            src: s,
+            dst: d.receiver,
+            size,
+            start: SimTime::ZERO,
+            offered: None,
+        });
+    }
+    sim.run_until_flows_done(horizon);
+    finish("incast", sim, n)
+}
+
+/// The chaos blackout, traced: four RoCC flows share the 40G dumbbell
+/// until flows 1–3 stop at the same instant every CNP starts dying. From
+/// then on only Alg. 2 fast recovery can move flow 0, so the timeline
+/// ends in a run of `recovery_double` transitions capped by `uninstall`.
+pub fn recovery(scale: Scale) -> TraceRun {
+    let (blackout_start, horizon) = match scale {
+        Scale::Quick => (SimTime::from_millis(8), SimTime::from_millis(16)),
+        Scale::Paper => (SimTime::from_millis(20), SimTime::from_millis(40)),
+    };
+    let d = scenarios::dumbbell(4, BitRate::from_gbps(40));
+    let cfg = SimConfig {
+        fault_plan: FaultPlan::default().with_loss_window(
+            FaultTarget::Cnp,
+            1.0,
+            blackout_start,
+            SimTime::MAX,
+        ),
+        ..SimConfig::default()
+    };
+    let mut sim = micro::sim_with(d.topo, Scheme::Rocc, 7, cfg);
+    sim.trace.telemetry.collect(EventMask::ALL);
+    sim.trace.telemetry.enable_metrics();
+    sim.trace.sample_period = Some(SimDuration::from_micros(100));
+    sim.trace.watch_queue(d.switch, d.bottleneck_port);
+    for (i, &s) in d.senders.iter().enumerate() {
+        sim.add_flow(FlowSpec {
+            id: FlowId(i as u64),
+            src: s,
+            dst: d.receiver,
+            size: u64::MAX,
+            start: SimTime::ZERO,
+            offered: None,
+        });
+        if i > 0 {
+            sim.stop_flow_at(FlowId(i as u64), blackout_start);
+        }
+    }
+    sim.run_until(horizon);
+    finish("recovery", sim, 4)
+}
+
+/// Run one scenario by name; `None` for an unknown name.
+pub fn run(scenario: &str, scale: Scale) -> Option<TraceRun> {
+    match scenario {
+        "incast" => Some(incast(scale)),
+        "recovery" => Some(recovery(scale)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn braces_balanced(s: &str) {
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    /// The acceptance criterion: the micro trace carries at least one
+    /// event of every class the issue names, plus histograms and a
+    /// self-profile.
+    #[test]
+    fn incast_covers_every_event_class() {
+        let r = incast(Scale::Quick);
+        assert!(r.counts.drop > 0, "no drop events: {:?}", r.counts);
+        assert!(r.counts.pfc > 0, "no pfc events: {:?}", r.counts);
+        assert!(r.counts.cnp > 0, "no cnp events: {:?}", r.counts);
+        assert!(r.counts.cp_decision > 0, "no cp decisions: {:?}", r.counts);
+        assert!(r.counts.rp_transition > 0, "no rp transitions: {:?}", r.counts);
+        assert_eq!(r.counts.fault, 2, "flap must fire down+up: {:?}", r.counts);
+        assert_eq!(r.completed, r.flows, "incast flows must complete");
+        // Timeline and summary are structurally sound.
+        assert_eq!(r.timeline_jsonl().lines().count(), r.events.len());
+        braces_balanced(&r.summary_json);
+        braces_balanced(&r.bench_json);
+        assert!(r.bench_json.contains("\"events_per_sec\":"));
+        assert!(r.summary_json.contains("\"histograms\":"));
+    }
+
+    /// Decision-level cross-checks on the incast timeline (EXPERIMENTS.md
+    /// §trace): the synchronized 8-to-1 start must push the queue past
+    /// Qmax while F is still high, so Alg. 1's MD-to-min branch fires at
+    /// least once; the steady state is PI, so PI decisions dominate; and
+    /// each of the N sources installs its rate limiter at least once.
+    #[test]
+    fn incast_decision_telemetry_matches_alg1_and_alg2() {
+        let r = incast(Scale::Quick);
+        let md = cp_kind_count(&r.events, CpDecisionKind::MdToMin)
+            + cp_kind_count(&r.events, CpDecisionKind::MdHalve);
+        let pi = cp_kind_count(&r.events, CpDecisionKind::Pi);
+        assert!(md >= 1, "incast start must trigger an MD branch");
+        assert!(pi > md, "PI must dominate the decision mix");
+        let installs = rp_kind_count(&r.events, RpTransitionKind::Install);
+        assert!(
+            installs >= r.flows as u64,
+            "every source must install its limiter: {installs} < {}",
+            r.flows
+        );
+        // Region indices stay in the six auto-tune regions of §3.5.
+        for e in &r.events {
+            if let SimEvent::CpDecision { region, .. } = e {
+                assert!(*region <= 5, "auto-tune region out of range: {region}");
+            }
+        }
+    }
+
+    /// The blackout timeline must show Alg. 2's unaided recovery: doubling
+    /// transitions after the blackout instant, capped by an uninstall, and
+    /// no accepted-CNP transitions after feedback died.
+    #[test]
+    fn recovery_timeline_shows_fast_recovery() {
+        let r = recovery(Scale::Quick);
+        let blackout = SimTime::from_millis(8);
+        let doubles = r
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(e, SimEvent::RpTransition { t, kind, .. }
+                    if *kind == RpTransitionKind::RecoveryDouble && *t >= blackout)
+            })
+            .count();
+        assert!(doubles >= 1, "no fast-recovery doubling after blackout");
+        assert!(
+            rp_kind_count(&r.events, RpTransitionKind::Uninstall) >= 1,
+            "recovery must end in an uninstall"
+        );
+        // Fault-injected CNP destruction is visible as attributed drops.
+        assert!(r.counts.drop > 0, "destroyed CNPs must appear as drops");
+        // No CNP emitted by the CP is accepted after the blackout: every
+        // post-blackout transition is recovery machinery, not feedback.
+        let post_feedback = r.events.iter().any(|e| {
+            matches!(e, SimEvent::RpTransition { t, kind, .. }
+                if *t > blackout
+                    && matches!(
+                        kind,
+                        RpTransitionKind::Install
+                            | RpTransitionKind::RateUpdate
+                            | RpTransitionKind::CpSwitch
+                    ))
+        });
+        assert!(!post_feedback, "no CNP can be accepted during a blackout");
+    }
+
+    #[test]
+    fn run_dispatches_by_name() {
+        assert!(run("nope", Scale::Quick).is_none());
+        for s in SCENARIOS {
+            // Names resolve; actually running them is covered above.
+            assert!(["incast", "recovery"].contains(&s));
+        }
+    }
+}

@@ -12,6 +12,7 @@
 //! DCQCN, DCQCN+PI, QCN, TIMELY, and HPCC.
 
 use crate::packet::{CpId, FlowId, IntStack, PacketKind};
+use crate::telemetry::{CcEvent, EventMask};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::NodeId;
 use crate::units::BitRate;
@@ -44,6 +45,21 @@ pub struct SwitchCcCtx<'a> {
     pub rng: &'a mut StdRng,
     /// Feedback packets to inject; drained and routed by the switch.
     pub emits: Vec<CtrlEmit>,
+    /// Decision events buffered by the scheme; drained by the engine and
+    /// wrapped into full [`crate::telemetry::SimEvent`]s. Empty `Vec` does
+    /// not allocate, so the disabled path stays free.
+    pub events: Vec<CcEvent>,
+    /// Telemetry classes the run cares about; schemes test this via
+    /// [`SwitchCcCtx::wants`] before constructing an event.
+    pub event_mask: EventMask,
+}
+
+impl SwitchCcCtx<'_> {
+    /// True if the run wants events of this class buffered.
+    #[inline]
+    pub fn wants(&self, class: EventMask) -> bool {
+        self.event_mask.intersects(class)
+    }
 }
 
 /// Per-packet metadata visible to switch CC hooks.
@@ -169,6 +185,12 @@ pub struct HostCcCtx {
     pub set_timers: Vec<(u8, SimDuration)>,
     /// Timer cancellation requests by token.
     pub cancel_timers: Vec<u8>,
+    /// Decision events buffered by the scheme; drained by the engine and
+    /// wrapped into full [`crate::telemetry::SimEvent`]s.
+    pub events: Vec<CcEvent>,
+    /// Telemetry classes the run cares about; schemes test this via
+    /// [`HostCcCtx::wants`] before constructing an event.
+    pub event_mask: EventMask,
 }
 
 impl HostCcCtx {
@@ -180,6 +202,12 @@ impl HostCcCtx {
     /// Cancel the pending timer identified by `token`, if any.
     pub fn cancel_timer(&mut self, token: u8) {
         self.cancel_timers.push(token);
+    }
+
+    /// True if the run wants events of this class buffered.
+    #[inline]
+    pub fn wants(&self, class: EventMask) -> bool {
+        self.event_mask.intersects(class)
     }
 }
 
@@ -319,6 +347,8 @@ mod tests {
             link_rate: BitRate::from_gbps(40),
             set_timers: Vec::new(),
             cancel_timers: Vec::new(),
+            events: Vec::new(),
+            event_mask: EventMask::NONE,
         };
         ctx.set_timer(0, SimDuration::from_micros(100));
         ctx.set_timer(1, SimDuration::from_micros(50));

@@ -10,6 +10,7 @@ use crate::fault::{FaultDecision, FaultEvent, FaultState, FaultTarget};
 use crate::host::Host;
 use crate::packet::{FlowId, Packet, PacketKind};
 use crate::switch::Switch;
+use crate::telemetry::{DropCause, EventMask, SimEvent, SimProfile};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{LinkId, NodeId, NodeRole, PortId, Topology};
 use crate::trace::Trace;
@@ -132,6 +133,7 @@ pub struct Kernel {
     pub faults: FaultState,
     heap: BinaryHeap<Reverse<Scheduled>>,
     seq: u64,
+    peak_heap: usize,
 }
 
 impl Kernel {
@@ -145,6 +147,7 @@ impl Kernel {
             faults,
             heap: BinaryHeap::new(),
             seq: 0,
+            peak_heap: 0,
         }
     }
 
@@ -157,6 +160,9 @@ impl Kernel {
             seq: self.seq,
             ev,
         }));
+        if self.heap.len() > self.peak_heap {
+            self.peak_heap = self.heap.len();
+        }
     }
 
     fn pop(&mut self) -> Option<Scheduled> {
@@ -166,6 +172,11 @@ impl Kernel {
     /// Number of pending events (diagnostics).
     pub fn pending(&self) -> usize {
         self.heap.len()
+    }
+
+    /// Largest event-queue length observed so far (self-profiling).
+    pub fn peak_pending(&self) -> usize {
+        self.peak_heap
     }
 }
 
@@ -221,6 +232,7 @@ pub struct Sim {
     flow_dir: HashMap<FlowId, FlowMeta>,
     host_cc: Box<dyn HostCcFactory>,
     events_processed: u64,
+    wall: std::time::Duration,
 }
 
 impl Sim {
@@ -257,6 +269,7 @@ impl Sim {
             flow_dir: HashMap::new(),
             host_cc,
             events_processed: 0,
+            wall: std::time::Duration::ZERO,
         }
     }
 
@@ -268,6 +281,19 @@ impl Sim {
     /// Total events processed so far (diagnostics / benchmarks).
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Self-profiling summary: events processed, events/sec, peak
+    /// event-queue length, wall-clock per simulated second. Wall time is
+    /// accumulated across all `run_until*` calls; it reads the host clock
+    /// only at run-loop entry/exit, so it cannot perturb simulated state.
+    pub fn profile(&self) -> SimProfile {
+        SimProfile {
+            events_processed: self.events_processed,
+            peak_event_queue: self.kernel.peak_pending(),
+            wall_seconds: self.wall.as_secs_f64(),
+            sim_seconds: self.kernel.now.as_secs_f64(),
+        }
     }
 
     /// Register a flow; it will activate at `spec.start`.
@@ -316,6 +342,12 @@ impl Sim {
     /// Run until the virtual clock reaches `t_end` (events at exactly
     /// `t_end` are processed) or the event queue drains.
     pub fn run_until(&mut self, t_end: SimTime) {
+        let started = std::time::Instant::now();
+        self.run_until_inner(t_end);
+        self.wall += started.elapsed();
+    }
+
+    fn run_until_inner(&mut self, t_end: SimTime) {
         if let Some(p) = self.trace.sample_period {
             if self.kernel.now == SimTime::ZERO {
                 self.kernel.schedule(SimTime::ZERO + p, Event::Sample);
@@ -337,6 +369,13 @@ impl Sim {
     /// Run until all registered finite flows have completed, but no longer
     /// than `max_t`. Returns true if everything finished.
     pub fn run_until_flows_done(&mut self, max_t: SimTime) -> bool {
+        let started = std::time::Instant::now();
+        let done = self.run_until_flows_done_inner(max_t);
+        self.wall += started.elapsed();
+        done
+    }
+
+    fn run_until_flows_done_inner(&mut self, max_t: SimTime) -> bool {
         let finite = self
             .flows
             .iter()
@@ -377,12 +416,14 @@ impl Sim {
                     // by the flap and packets transmitted onto a dead link).
                     if self.kernel.faults.link_is_down(link) {
                         self.trace.faults.link_down_drops += 1;
+                        self.publish_drop(to_node, pkt.flow, DropCause::LinkDown);
                         return;
                     }
                     if self.kernel.faults.host_is_down(to_node)
                         && matches!(self.nodes[to_node.0], NodeSlot::Host(_))
                     {
                         self.trace.faults.host_down_drops += 1;
+                        self.publish_drop(to_node, pkt.flow, DropCause::HostDown);
                         return;
                     }
                     match self.kernel.faults.decide(self.kernel.now, link, &pkt.kind) {
@@ -401,6 +442,7 @@ impl Sim {
                                 }
                                 if !matches!(pkt.kind, PacketKind::Ack { .. }) {
                                     self.trace.faults.ctrl_lost += 1;
+                                    self.publish_drop(to_node, pkt.flow, DropCause::FaultLoss);
                                     return;
                                 }
                             } else {
@@ -409,6 +451,7 @@ impl Sim {
                                 } else {
                                     self.trace.faults.ctrl_lost += 1;
                                 }
+                                self.publish_drop(to_node, pkt.flow, DropCause::FaultLoss);
                                 return;
                             }
                         }
@@ -418,6 +461,7 @@ impl Sim {
                             } else {
                                 self.trace.faults.ctrl_corrupted += 1;
                             }
+                            self.publish_drop(to_node, pkt.flow, DropCause::FaultCorrupt);
                             // Failed FCS: switches discard at ingress; hosts
                             // discard too, but a corrupted data packet nudges
                             // the receiver's go-back-N (see the host hook).
@@ -454,8 +498,11 @@ impl Sim {
             Event::HostTxDone { node } => {
                 if self.kernel.faults.host_is_down(node) {
                     // The NIC went down mid-serialization: the packet never
-                    // reaches the wire. `revive` resets the TX path.
+                    // reaches the wire. `revive` resets the TX path. The
+                    // serialized packet is not at hand here, so the drop
+                    // event carries the PFC-style sentinel flow id.
                     self.trace.faults.host_down_drops += 1;
+                    self.publish_drop(node, FlowId(u64::MAX), DropCause::HostDown);
                     return;
                 }
                 if let NodeSlot::Host(h) = &mut self.nodes[node.0] {
@@ -541,8 +588,26 @@ impl Sim {
         }
     }
 
+    /// Publish a packet-drop telemetry event (no-op unless enabled).
+    fn publish_drop(&mut self, node: NodeId, flow: FlowId, cause: DropCause) {
+        if self.trace.telemetry.wants(EventMask::DROP) {
+            self.trace.telemetry.publish(SimEvent::Drop {
+                t: self.kernel.now,
+                node,
+                flow,
+                cause,
+            });
+        }
+    }
+
     /// Apply a scheduled fault transition.
     fn apply_fault(&mut self, fe: FaultEvent) {
+        if self.trace.telemetry.wants(EventMask::FAULT) {
+            self.trace.telemetry.publish(SimEvent::Fault {
+                t: self.kernel.now,
+                fault: fe,
+            });
+        }
         match fe {
             FaultEvent::LinkDown(l) => {
                 // A physical link failure takes out both directions of the
@@ -602,6 +667,7 @@ impl Sim {
             if let NodeSlot::Switch(sw) = &self.nodes[n.0] {
                 let (q, _) = sw.snapshot(p);
                 self.trace.record_queue_sample(i, now, q);
+                self.trace.telemetry.record_queue_depth(q);
             }
         }
         // Long-run queue averages.

@@ -256,7 +256,7 @@ impl FaultPlan {
 }
 
 /// A scheduled fault transition, dispatched through the event queue.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultEvent {
     /// Both directions of the link go down.
     LinkDown(LinkId),

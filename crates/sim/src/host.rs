@@ -8,6 +8,7 @@
 use crate::cc::{AckEvent, FeedbackEvent, HostCc, HostCcCtx, RateDecision};
 use crate::engine::{Event, FlowMeta, Kernel};
 use crate::packet::{FlowId, IntStack, Packet, PacketKind};
+use crate::telemetry::{CcEvent, EventMask, SimEvent};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{LinkId, NodeId, Topology};
 use crate::trace::{FctRecord, Trace};
@@ -205,12 +206,31 @@ impl Host {
         self.flows.remove(&flow);
     }
 
-    fn cc_ctx(&self, k: &Kernel) -> HostCcCtx {
+    fn cc_ctx(&self, k: &Kernel, mask: EventMask) -> HostCcCtx {
         HostCcCtx {
             now: k.now,
             link_rate: self.line_rate,
             set_timers: Vec::new(),
             cancel_timers: Vec::new(),
+            events: Vec::new(),
+            event_mask: mask,
+        }
+    }
+
+    /// Wrap decision events buffered by a flow's CC into timestamped,
+    /// host/flow-attributed telemetry events.
+    fn publish_cc_events(&self, k: &Kernel, trace: &mut Trace, flow: FlowId, events: Vec<CcEvent>) {
+        for ev in events {
+            if let CcEvent::RpTransition { kind, rate_bps, cp } = ev {
+                trace.telemetry.publish(SimEvent::RpTransition {
+                    t: k.now,
+                    node: self.id,
+                    flow,
+                    kind,
+                    rate_bps,
+                    cp,
+                });
+            }
         }
     }
 
@@ -639,11 +659,13 @@ impl Host {
         flow: FlowId,
         fb: FeedbackEvent,
     ) {
-        let mut ctx = self.cc_ctx(k);
+        let mut ctx = self.cc_ctx(k, trace.telemetry.cc_mask());
         let Some(f) = self.flows.get_mut(&flow) else {
             return;
         };
         f.cc.on_feedback(&mut ctx, fb);
+        let events = std::mem::take(&mut ctx.events);
+        self.publish_cc_events(k, trace, flow, events);
         self.apply_timer_reqs(k, flow, ctx);
         self.activate_on_rate_change(flow);
         self.try_send(k, topo, trace);
@@ -679,11 +701,13 @@ impl Host {
                 return;
             }
         }
-        let mut ctx = self.cc_ctx(k);
+        let mut ctx = self.cc_ctx(k, trace.telemetry.cc_mask());
         let Some(f) = self.flows.get_mut(&flow) else {
             return;
         };
         f.cc.on_timer(&mut ctx, token);
+        let events = std::mem::take(&mut ctx.events);
+        self.publish_cc_events(k, trace, flow, events);
         self.apply_timer_reqs(k, flow, ctx);
         self.activate_on_rate_change(flow);
         self.try_send(k, topo, trace);
@@ -785,7 +809,7 @@ impl Host {
     ) {
         let mut completed = false;
         {
-            let mut ctx = self.cc_ctx(k);
+            let mut ctx = self.cc_ctx(k, trace.telemetry.cc_mask());
             let Some(f) = self.flows.get_mut(&flow) else {
                 return;
             };
@@ -805,6 +829,8 @@ impl Host {
             let size = f.size;
             let acked = f.acked;
             let outstanding = f.next_seq > f.acked;
+            let events = std::mem::take(&mut ctx.events);
+            self.publish_cc_events(k, trace, flow, events);
             self.apply_timer_reqs(k, flow, ctx);
             if size != u64::MAX && acked >= size {
                 completed = true;

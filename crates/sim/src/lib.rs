@@ -69,6 +69,7 @@ pub mod fault;
 pub mod host;
 pub mod packet;
 pub mod switch;
+pub mod telemetry;
 pub mod time;
 pub mod topology;
 pub mod trace;
@@ -88,6 +89,10 @@ pub mod prelude {
         LinkFault, LinkFlap,
     };
     pub use crate::packet::{CpId, FlowId, IntHop, IntStack, Packet, PacketKind};
+    pub use crate::telemetry::{
+        CcEvent, CounterLabels, CpDecisionKind, DropCause, EventMask, EventSubscriber, Histogram,
+        RpTransitionKind, SimEvent, SimProfile, Telemetry,
+    };
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::topology::{LinkId, NodeId, NodeRole, PortId, Topology, TopologyBuilder};
     pub use crate::trace::{FaultCounters, FctRecord, PfcEvent, Sample, Trace};

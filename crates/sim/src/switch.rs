@@ -17,6 +17,7 @@ use crate::cc::{CtrlEmit, PacketMeta, SwitchCc, SwitchCcCtx};
 use crate::config::BufferMode;
 use crate::engine::{Event, Kernel};
 use crate::packet::{CpId, FlowId, Packet, PacketKind, PFC_FRAME_BYTES};
+use crate::telemetry::{CcEvent, DropCause, EventMask, SimEvent};
 use crate::time::SimTime;
 use crate::topology::{LinkId, NodeId, NodeRole, PortId, Topology};
 use crate::trace::Trace;
@@ -150,7 +151,7 @@ impl Switch {
         self.ports[p.0].cc.timer_period()
     }
 
-    fn cc_ctx<'a>(&self, k: &'a mut Kernel, p: PortId) -> SwitchCcCtx<'a> {
+    fn cc_ctx<'a>(&self, k: &'a mut Kernel, p: PortId, mask: EventMask) -> SwitchCcCtx<'a> {
         let port = &self.ports[p.0];
         SwitchCcCtx {
             now: k.now,
@@ -163,6 +164,50 @@ impl Switch {
             tx_bytes: port.tx_bytes,
             rng: &mut k.rng,
             emits: Vec::new(),
+            events: Vec::new(),
+            event_mask: mask,
+        }
+    }
+
+    /// Publish a packet-drop telemetry event at this switch.
+    fn publish_drop(&self, k: &Kernel, trace: &mut Trace, flow: FlowId, cause: DropCause) {
+        if trace.telemetry.wants(EventMask::DROP) {
+            trace.telemetry.publish(SimEvent::Drop {
+                t: k.now,
+                node: self.id,
+                flow,
+                cause,
+            });
+        }
+    }
+
+    /// Wrap decision events buffered by the port CC into timestamped,
+    /// CP-attributed telemetry events.
+    fn publish_cc_events(&self, k: &Kernel, trace: &mut Trace, p: PortId, events: Vec<CcEvent>) {
+        for ev in events {
+            if let CcEvent::CpDecision {
+                kind,
+                fair_rate_units,
+                alpha,
+                beta,
+                region,
+                qlen_bytes,
+            } = ev
+            {
+                trace.telemetry.publish(SimEvent::CpDecision {
+                    t: k.now,
+                    cp: CpId {
+                        node: self.id,
+                        port: p,
+                    },
+                    kind,
+                    fair_rate_units,
+                    alpha,
+                    beta,
+                    region,
+                    qlen_bytes,
+                });
+            }
         }
     }
 
@@ -189,6 +234,7 @@ impl Switch {
                     // congestion drops: any nonzero count flags a topology
                     // or routing bug, not load.
                     trace.unroutable_drops += 1;
+                    self.publish_drop(k, trace, pkt.flow, DropCause::Unroutable);
                     return;
                 };
                 self.enqueue(k, topo, trace, egress, Some(in_port), pkt);
@@ -212,6 +258,7 @@ impl Switch {
         // PFC never backpressures traffic that could not be delivered anyway.
         if k.faults.is_active() && k.faults.link_is_down(self.ports[egress.0].link) {
             trace.faults.link_down_drops += 1;
+            self.publish_drop(k, trace, pkt.flow, DropCause::LinkDown);
             return;
         }
 
@@ -228,6 +275,7 @@ impl Switch {
         if let BufferMode::LossyTailDrop { limit_bytes } = k.config.buffer_mode {
             if self.ports[egress.0].qlen_bytes + wire > limit_bytes {
                 trace.drops += 1;
+                self.publish_drop(k, trace, pkt.flow, DropCause::Congestion);
                 return;
             }
         }
@@ -242,12 +290,14 @@ impl Switch {
                 src: pkt.src,
                 wire_bytes: wire,
             };
-            let mut ctx = self.cc_ctx(k, egress);
+            let mut ctx = self.cc_ctx(k, egress, trace.telemetry.cc_mask());
             let mark = self.ports[egress.0].cc.on_enqueue(&mut ctx, meta);
             let emits = std::mem::take(&mut ctx.emits);
+            let events = std::mem::take(&mut ctx.events);
             if mark {
                 pkt.ecn = true;
             }
+            self.publish_cc_events(k, trace, egress, events);
             self.inject_feedback(k, topo, trace, emits);
         }
 
@@ -305,9 +355,32 @@ impl Switch {
             };
             let Some(egress) = topo.route(self.id, e.to, e.flow) else {
                 trace.unroutable_drops += 1;
+                self.publish_drop(k, trace, e.flow, DropCause::Unroutable);
                 continue;
             };
             trace.ctrl_emitted += 1;
+            if trace.telemetry.wants(EventMask::CNP) {
+                let (cp, units) = match pkt.kind {
+                    PacketKind::RoccCnp {
+                        fair_rate_units,
+                        cp,
+                    } => (cp, fair_rate_units),
+                    PacketKind::QcnFb { fb, cp } => (cp, fb as u32),
+                    _ => (
+                        CpId {
+                            node: self.id,
+                            port: egress,
+                        },
+                        0,
+                    ),
+                };
+                trace.telemetry.publish(SimEvent::CnpEmit {
+                    t: k.now,
+                    cp,
+                    flow: e.flow,
+                    fair_rate_units: units,
+                });
+            }
             self.ports[egress.0]
                 .ctrl_q
                 .push_back(QueuedPacket { pkt, ingress: None });
@@ -334,12 +407,14 @@ impl Switch {
                         src: qp.pkt.src,
                         wire_bytes: wire,
                     };
-                    let mut ctx = self.cc_ctx(k, p);
+                    let mut ctx = self.cc_ctx(k, p, trace.telemetry.cc_mask());
                     let hop = self.ports[p.0].cc.on_dequeue(&mut ctx, meta);
                     let emits = std::mem::take(&mut ctx.emits);
+                    let events = std::mem::take(&mut ctx.events);
                     if let Some(h) = hop {
                         qp.pkt.int.push(h);
                     }
+                    self.publish_cc_events(k, trace, p, events);
                     self.inject_feedback(k, topo, trace, emits);
                 }
                 // Release PFC accounting.
@@ -351,6 +426,7 @@ impl Switch {
                             topo.link(topo.node(self.id).in_links[ing.0]).rate;
                         if *b < k.config.pfc.xon_for(in_rate) {
                             self.sent_xoff[ing.0] = false;
+                            trace.note_pfc_resume(k.now, self.id, ing);
                             self.send_pfc(k, topo, ing, PacketKind::PfcResume);
                         }
                     }
@@ -402,9 +478,11 @@ impl Switch {
         trace: &mut Trace,
         p: PortId,
     ) {
-        let mut ctx = self.cc_ctx(k, p);
+        let mut ctx = self.cc_ctx(k, p, trace.telemetry.cc_mask());
         self.ports[p.0].cc.on_timer(&mut ctx);
         let emits = std::mem::take(&mut ctx.emits);
+        let events = std::mem::take(&mut ctx.events);
+        self.publish_cc_events(k, trace, p, events);
         self.inject_feedback(k, topo, trace, emits);
         if let Some(period) = self.ports[p.0].cc.timer_period() {
             k.schedule(

@@ -7,6 +7,7 @@
 //! periodic snapshots.
 
 use crate::packet::FlowId;
+use crate::telemetry::{EventMask, SimEvent, Telemetry};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeId, PortId};
 use std::collections::HashMap;
@@ -87,8 +88,15 @@ impl FaultCounters {
 /// Everything recorded during one run.
 #[derive(Debug, Default)]
 pub struct Trace {
+    /// Structured telemetry sink: typed event log, counters, histograms.
+    /// Fully disabled by default (see [`crate::telemetry`]).
+    pub telemetry: Telemetry,
     /// Ports whose egress data-queue depth is sampled.
     watched_queues: Vec<(NodeId, PortId)>,
+    /// Index into `watched_queues`/`queue_peak` by (node, port), so the
+    /// per-enqueue peak update is O(1) instead of a scan over every
+    /// watched queue.
+    queue_index: HashMap<(NodeId, PortId), usize>,
     /// Sampled queue series, parallel to `watched_queues`.
     pub queue_series: Vec<Vec<Sample>>,
     /// Flows whose goodput (receiver-side delivery rate) is sampled.
@@ -157,6 +165,9 @@ impl Trace {
 
     /// Watch an egress data queue (sampled series + exact peak).
     pub fn watch_queue(&mut self, node: NodeId, port: PortId) {
+        self.queue_index
+            .entry((node, port))
+            .or_insert(self.watched_queues.len());
         self.watched_queues.push((node, port));
         self.queue_series.push(Vec::new());
         self.queue_peak.push(0);
@@ -222,9 +233,11 @@ impl Trace {
     }
 
     /// Record exact queue peak (called on every enqueue by the engine).
+    /// O(1) via the (node, port) index — this runs for every data packet
+    /// enqueued at every switch.
     pub fn note_queue_depth(&mut self, node: NodeId, port: PortId, bytes: u64) {
-        for (i, &(n, p)) in self.watched_queues.iter().enumerate() {
-            if n == node && p == port && bytes > self.queue_peak[i] {
+        if let Some(&i) = self.queue_index.get(&(node, port)) {
+            if bytes > self.queue_peak[i] {
                 self.queue_peak[i] = bytes;
             }
         }
@@ -294,10 +307,33 @@ impl Trace {
     /// Record a PFC pause event.
     pub fn note_pfc(&mut self, t: SimTime, node: NodeId, port: PortId) {
         self.pfc_events.push(PfcEvent { t, node, port });
+        if self.telemetry.wants(EventMask::PFC) {
+            self.telemetry.publish(SimEvent::Pfc {
+                t,
+                node,
+                port,
+                pause: true,
+            });
+        }
+    }
+
+    /// Record a PFC resume (XON) event. Resumes are not kept in
+    /// [`Trace::pfc_events`] (which counts pauses, matching the paper's
+    /// PFC metric) but are visible to telemetry.
+    pub fn note_pfc_resume(&mut self, t: SimTime, node: NodeId, port: PortId) {
+        if self.telemetry.wants(EventMask::PFC) {
+            self.telemetry.publish(SimEvent::Pfc {
+                t,
+                node,
+                port,
+                pause: false,
+            });
+        }
     }
 
     /// Record a completed flow.
     pub fn note_fct(&mut self, rec: FctRecord) {
+        self.telemetry.record_fct(rec.fct().as_nanos());
         self.fcts.push(rec);
     }
 
