@@ -37,7 +37,7 @@ fn bench_fct_by_scheme(c: &mut Criterion) {
             out.pfc_ingress,
             out.pfc_egress
         );
-        g.bench_function(format!("fb_hadoop_70pct_{}", scheme.name()), |b| {
+        g.bench_function(&format!("fb_hadoop_70pct_{}", scheme.name()), |b| {
             b.iter(|| {
                 black_box(run_fat_tree(
                     scheme,

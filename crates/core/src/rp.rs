@@ -107,6 +107,13 @@ impl HostCc for RoccHostCc {
         }
     }
 
+    /// RoCC's RP never pushes a flow above the NIC line rate —
+    /// [`RoccHostCc::decision`] caps at `Rmax` even mid-recovery — and the
+    /// fair rate floors at zero. The sanitizer audits this promise.
+    fn rate_bounds(&self) -> Option<(BitRate, BitRate)> {
+        Some((BitRate::ZERO, self.r_max))
+    }
+
     fn on_timer(&mut self, ctx: &mut HostCcCtx, token: u8) {
         if token != RECOVERY_TOKEN || !self.installed {
             return;
@@ -344,6 +351,21 @@ mod tests {
         r.on_timer(&mut c, RECOVERY_TOKEN);
         assert!(!r.is_installed());
         assert!(c.set_timers.is_empty());
+    }
+
+    #[test]
+    fn declared_rate_bounds_hold_through_recovery() {
+        let mut r = rp();
+        let (lo, hi) = r.rate_bounds().expect("RoCC RP declares bounds");
+        assert_eq!((lo, hi), (BitRate::ZERO, BitRate::from_gbps(40)));
+        let mut c = ctx();
+        r.on_feedback(&mut c, cnp(3000, cp(1)));
+        for _ in 0..6 {
+            let mut c = ctx();
+            r.on_timer(&mut c, RECOVERY_TOKEN);
+            let rate = r.decision().rate;
+            assert!(rate >= lo && rate <= hi, "decision {rate:?} out of bounds");
+        }
     }
 
     #[test]

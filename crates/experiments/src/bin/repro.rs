@@ -391,6 +391,39 @@ fn run_chaos(scale: Scale) {
         b.pre_blackout_gbps, b.blackout_start, b.post_recovery_gbps, b.cnps_lost
     );
     print_series("flow-0 RP rate (Gb/s)", &b.rate, 8, "Gb/s", 1e9);
+    println!("== Chaos: PFC pause storm — watchdog pause pressure by scheme ==");
+    println!(
+        "{:>10} {:>11} {:>12} {:>8} {:>10} {:>14}",
+        "scheme", "completed", "max-paused", "depth", "victims", "victim FCT"
+    );
+    for c in chaos::pause_storm(scale) {
+        println!(
+            "{:>10} {:>8}/{:<2} {:>11.1}% {:>8} {:>10} {:>11.3}ms",
+            c.scheme.map(|s| s.name()).unwrap_or("none"),
+            c.completed,
+            c.flows,
+            c.max_pause_fraction * 100.0,
+            c.max_pause_depth,
+            c.victims.len(),
+            c.victim_fct_ms
+        );
+    }
+    println!("== Chaos: PFC ring deadlock probe (5-switch cyclic buffer dependency) ==");
+    for c in chaos::deadlock_probe() {
+        if c.cycle_len > 0 {
+            println!(
+                "{:>10}: DEADLOCK — {}-node pause cycle confirmed at {:.1} µs",
+                c.scheme, c.cycle_len, c.detected_at_us
+            );
+        } else {
+            println!(
+                "{:>10}: {}",
+                c.scheme,
+                if c.completed { "all flows completed" } else { "stalled without a cycle" }
+            );
+        }
+        println!("{:>12}{}", "", c.verdict_json);
+    }
 }
 
 fn run_table1() {

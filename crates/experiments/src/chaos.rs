@@ -75,7 +75,7 @@ pub fn cnp_loss_sweep(scale: Scale) -> Vec<ChaosCell> {
                     offered: None,
                 });
             }
-            sim.run_until_flows_done(horizon);
+            let _ = sim.run_until_flows_done(horizon);
             let fcts: Vec<f64> = sim
                 .trace
                 .fcts
@@ -183,9 +183,227 @@ pub fn cnp_blackout(scale: Scale) -> BlackoutResult {
     }
 }
 
+/// One scheme's row in the [`pause_storm`] comparison.
+#[derive(Debug)]
+pub struct PauseStormCell {
+    /// The scheme under test (`None` = uncontrolled line-rate senders).
+    pub scheme: Option<Scheme>,
+    /// Finite flows offered.
+    pub flows: usize,
+    /// Flows completed within the horizon.
+    pub completed: usize,
+    /// Largest per-port fraction of sanitizer audits spent PFC-paused.
+    pub max_pause_fraction: f64,
+    /// Deepest pause wait-for chain the watchdog observed.
+    pub max_pause_depth: u32,
+    /// Flows attributed as pause victims (paused behind congestion their
+    /// own path never causes).
+    pub victims: Vec<FlowId>,
+    /// FCT of the innocent cross-traffic flow, in ms (0 if incomplete).
+    pub victim_fct_ms: f64,
+}
+
+/// PFC pause-storm comparison on a two-switch trunk: an incast overloads
+/// one receiver while an innocent flow to an idle receiver shares the
+/// trunk. The PFC watchdog measures how much of the run each port spends
+/// paused and attributes victims. RoCC's switch-driven rate control keeps
+/// queues near the reference and the trunk largely unpaused; DCQCN's
+/// slower ECN loop leans on PFC and collateral-damages the innocent flow;
+/// uncontrolled senders are the worst case.
+pub fn pause_storm(scale: Scale) -> Vec<PauseStormCell> {
+    let (incast, size, horizon) = match scale {
+        Scale::Quick => (4usize, 2_000_000u64, SimTime::from_millis(200)),
+        Scale::Paper => (8, 10_000_000, SimTime::from_millis(1000)),
+    };
+    let schemes: [Option<Scheme>; 3] = [None, Some(Scheme::Rocc), Some(Scheme::Dcqcn)];
+    let mut out = Vec::new();
+    for scheme in schemes {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_switch("a", NodeRole::Switch);
+        let t = b.add_switch("b", NodeRole::Switch);
+        b.connect(a, t, BitRate::from_gbps(40), SimDuration::from_micros(1));
+        let mut senders = Vec::new();
+        for i in 0..=incast {
+            let h = b.add_host(format!("h{i}"));
+            b.connect(h, a, BitRate::from_gbps(10), SimDuration::from_micros(1));
+            senders.push(h);
+        }
+        let r1 = b.add_host("r1");
+        let r2 = b.add_host("r2");
+        b.connect(t, r1, BitRate::from_gbps(10), SimDuration::from_micros(1));
+        b.connect(t, r2, BitRate::from_gbps(10), SimDuration::from_micros(1));
+        // Paper-default PFC thresholds: a scheme that keeps queues near its
+        // reference never trips them; one that lets queues run away leans
+        // on PFC and collateral-damages the trunk.
+        let cfg = SimConfig::default();
+        let mut sim = match scheme {
+            Some(s) => micro::sim_with(b.build(), s, 7, cfg),
+            None => Sim::new(
+                b.build(),
+                cfg,
+                Box::new(NullHostCcFactory),
+                Box::new(NullSwitchCcFactory),
+            ),
+        };
+        sim.enable_sanitizer_with_period(SimDuration::from_micros(2));
+        let victim_id = FlowId(incast as u64);
+        for (i, &s) in senders.iter().enumerate() {
+            let dst = if i < incast { r1 } else { r2 };
+            sim.add_flow(FlowSpec {
+                id: FlowId(i as u64),
+                src: s,
+                dst,
+                size,
+                start: SimTime::ZERO,
+                offered: None,
+            });
+        }
+        let _ = sim.run_until_flows_done(horizon);
+        let report = sim.sanitizer().report();
+        let victim_fct_ms = sim
+            .trace
+            .fcts
+            .iter()
+            .find(|r| r.flow == victim_id)
+            .map(|r| r.fct().as_secs_f64() * 1e3)
+            .unwrap_or(0.0);
+        out.push(PauseStormCell {
+            scheme,
+            flows: senders.len(),
+            completed: sim.trace.fcts.len(),
+            max_pause_fraction: report.max_pause_fraction,
+            max_pause_depth: report.max_pause_depth,
+            victims: report.victims,
+            victim_fct_ms,
+        });
+    }
+    out
+}
+
+/// One scheme's outcome on the deadlock-prone PFC ring ([`deadlock_probe`]).
+#[derive(Debug)]
+pub struct DeadlockProbeCell {
+    /// Scheme name (`"none"` = uncontrolled line-rate senders).
+    pub scheme: String,
+    /// Whether all flows completed.
+    pub completed: bool,
+    /// The verdict's JSON rendering (carries the pause cycle on deadlock).
+    pub verdict_json: String,
+    /// Length of the confirmed pause cycle (0 if none).
+    pub cycle_len: usize,
+    /// Simulated time at which the watchdog confirmed the deadlock, in µs
+    /// (0 if no deadlock).
+    pub detected_at_us: f64,
+}
+
+/// PFC deadlock probe: five switches in a ring, one host each, every host
+/// sending two hops clockwise — the canonical cyclic-buffer-dependency
+/// topology. With uncontrolled senders the ring deadlocks and the watchdog
+/// names the 5-node pause cycle. Congestion control changes the outcome by
+/// keeping queues below the PFC thresholds.
+pub fn deadlock_probe() -> Vec<DeadlockProbeCell> {
+    let mut out = Vec::new();
+    let cases: [(&str, Option<Scheme>); 3] = [
+        ("none", None),
+        ("rocc", Some(Scheme::Rocc)),
+        ("dcqcn", Some(Scheme::Dcqcn)),
+    ];
+    for (name, scheme) in cases {
+        let mut b = TopologyBuilder::new();
+        let n = 5usize;
+        let mut sws = Vec::new();
+        for i in 0..n {
+            sws.push(b.add_switch(format!("s{i}"), NodeRole::Switch));
+        }
+        for i in 0..n {
+            b.connect(
+                sws[i],
+                sws[(i + 1) % n],
+                BitRate::from_gbps(40),
+                SimDuration::from_micros(1),
+            );
+        }
+        let mut hosts = Vec::new();
+        for &s in &sws {
+            let h = b.add_host(format!("h{}", hosts.len()));
+            b.connect(h, s, BitRate::from_gbps(40), SimDuration::from_micros(1));
+            hosts.push(h);
+        }
+        let cfg = SimConfig {
+            pfc: PfcConfig {
+                xoff_40g: kb(20),
+                xoff_100g: kb(20),
+                resume_frac: 0.1,
+            },
+            ..SimConfig::default()
+        };
+        let mut sim = match scheme {
+            Some(s) => micro::sim_with(b.build(), s, 7, cfg),
+            None => Sim::new(
+                b.build(),
+                cfg,
+                Box::new(NullHostCcFactory),
+                Box::new(NullSwitchCcFactory),
+            ),
+        };
+        sim.enable_sanitizer();
+        for i in 0..n {
+            sim.add_flow(FlowSpec {
+                id: FlowId(i as u64),
+                src: hosts[i],
+                dst: hosts[(i + 2) % n],
+                size: 20_000_000,
+                start: SimTime::ZERO,
+                offered: None,
+            });
+        }
+        let verdict = sim.run_until_flows_done(SimTime::from_millis(100));
+        let (cycle_len, detected_at_us) = match verdict.err() {
+            Some(SimError::PfcDeadlock {
+                cycle, detected_at, ..
+            }) => (cycle.len(), detected_at.as_nanos() as f64 / 1e3),
+            _ => (0, 0.0),
+        };
+        out.push(DeadlockProbeCell {
+            scheme: name.to_string(),
+            completed: verdict.is_complete(),
+            verdict_json: verdict.to_json(),
+            cycle_len,
+            detected_at_us,
+        });
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pause_storm_orders_schemes_by_pause_pressure() {
+        let cells = pause_storm(Scale::Quick);
+        let by = |s: Option<Scheme>| cells.iter().find(|c| c.scheme == s).unwrap();
+        let rocc = by(Some(Scheme::Rocc));
+        let none = by(None);
+        assert_eq!(rocc.completed, rocc.flows, "RoCC must complete: {rocc:?}");
+        assert!(
+            rocc.max_pause_fraction <= none.max_pause_fraction,
+            "RoCC must not pause more than uncontrolled senders:\n{rocc:?}\n{none:?}"
+        );
+        assert!(
+            none.victims.contains(&FlowId(none.flows as u64 - 1)),
+            "uncontrolled incast must victimize the innocent flow: {none:?}"
+        );
+    }
+
+    #[test]
+    fn deadlock_probe_confirms_the_uncontrolled_ring_deadlock() {
+        let cells = deadlock_probe();
+        let none = cells.iter().find(|c| c.scheme == "none").unwrap();
+        assert!(!none.completed);
+        assert_eq!(none.cycle_len, 5, "{none:?}");
+        assert!(none.verdict_json.contains("pfc_deadlock"), "{none:?}");
+    }
 
     #[test]
     fn zero_loss_cell_is_faultless_and_complete() {

@@ -199,8 +199,9 @@ pub fn run_fat_tree(
             offered: None,
         });
     }
-    let all_completed =
-        sim.run_until_flows_done(SimTime::ZERO + cfg.window + cfg.max_drain);
+    let all_completed = sim
+        .run_until_flows_done(SimTime::ZERO + cfg.window + cfg.max_drain)
+        .is_complete();
 
     // Classify PFC events by the switch that generated the pause.
     let is_core = |n: NodeId| ft.cores.contains(&n);

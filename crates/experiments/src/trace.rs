@@ -209,7 +209,7 @@ pub fn incast(scale: Scale) -> TraceRun {
             offered: None,
         });
     }
-    sim.run_until_flows_done(horizon);
+    let _ = sim.run_until_flows_done(horizon);
     finish("incast", sim, n)
 }
 

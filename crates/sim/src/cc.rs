@@ -246,6 +246,14 @@ pub trait HostCc {
 
     /// A timer armed via [`HostCcCtx::set_timer`] fired.
     fn on_timer(&mut self, ctx: &mut HostCcCtx, token: u8) {}
+
+    /// The hard `(min, max)` bounds this controller promises its rate stays
+    /// within, if it makes such a promise. The invariant sanitizer audits
+    /// `min ≤ decision().rate ≤ max` whenever this returns `Some`; `None`
+    /// (the default) skips the audit for schemes without declared bounds.
+    fn rate_bounds(&self) -> Option<(BitRate, BitRate)> {
+        None
+    }
 }
 
 /// A [`HostCc`] that always sends at line rate (no congestion control).

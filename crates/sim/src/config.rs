@@ -2,7 +2,9 @@
 
 use crate::fault::FaultPlan;
 use crate::time::SimDuration;
+use crate::topology::Topology;
 use crate::units::{kb, BitRate};
+use std::fmt;
 
 /// Buffering/loss regime of the fabric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,6 +124,66 @@ impl Default for SimConfig {
     }
 }
 
+/// A typed rejection from [`SimConfig::validate`]: the configuration (or
+/// its combination with the topology) is inconsistent and would silently
+/// misbehave rather than fail.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The topology has no hosts or no links: nothing can ever run.
+    EmptyTopology,
+    /// A link has a zero line rate (serialization time would be undefined).
+    ZeroLineRate {
+        /// Index of the offending link.
+        link: usize,
+    },
+    /// A zero MTU payload: no data packet can ever carry bytes.
+    ZeroMtu,
+    /// A zero PFC pause threshold in lossless mode: the very first packet
+    /// would pause the fabric forever.
+    ZeroXoff,
+    /// `resume_frac` is non-finite or outside `[0, 1)`: the XON threshold
+    /// would meet or exceed XOFF, so PAUSE/RESUME would oscillate or jam.
+    PfcResumeFracInvalid {
+        /// The offending fraction.
+        frac: f64,
+    },
+    /// The retransmission timeout is shorter than one base round trip, so
+    /// every in-flight packet would spuriously retransmit.
+    RtoTooShort {
+        /// The configured RTO.
+        rto: SimDuration,
+        /// The minimum admissible RTO (2 × the largest propagation delay).
+        floor: SimDuration,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::EmptyTopology => {
+                write!(f, "topology has no hosts or no links; nothing to simulate")
+            }
+            ConfigError::ZeroLineRate { link } => {
+                write!(f, "link {link} has a zero line rate")
+            }
+            ConfigError::ZeroMtu => write!(f, "mtu_payload is zero"),
+            ConfigError::ZeroXoff => {
+                write!(f, "PFC pause threshold is zero in lossless mode")
+            }
+            ConfigError::PfcResumeFracInvalid { frac } => write!(
+                f,
+                "pfc.resume_frac {frac} is not in [0, 1): XON would meet or exceed XOFF"
+            ),
+            ConfigError::RtoTooShort { rto, floor } => write!(
+                f,
+                "rto {rto} is below one base round trip ({floor}): every in-flight packet would spuriously retransmit"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 impl SimConfig {
     /// The paper's "testbed" profile: protocol-stack latency and NIC
     /// batching jitter like the DPDK deployment in §6.2.
@@ -129,6 +191,48 @@ impl SimConfig {
         self.host_stack_latency = SimDuration::from_micros(8);
         self.host_stack_jitter = SimDuration::from_micros(6);
         self
+    }
+
+    /// Check this configuration against `topo` and reject inconsistent
+    /// combinations with a typed error instead of silent misbehavior.
+    /// [`crate::engine::Sim::new`] calls this and panics on `Err`.
+    pub fn validate(&self, topo: &Topology) -> Result<(), ConfigError> {
+        if topo.hosts().is_empty() || topo.links().is_empty() {
+            return Err(ConfigError::EmptyTopology);
+        }
+        for (i, link) in topo.links().iter().enumerate() {
+            if link.rate.as_bps() == 0 {
+                return Err(ConfigError::ZeroLineRate { link: i });
+            }
+        }
+        if self.mtu_payload == 0 {
+            return Err(ConfigError::ZeroMtu);
+        }
+        if self.buffer_mode == BufferMode::LosslessPfc {
+            if self.pfc.xoff_40g == 0 || self.pfc.xoff_100g == 0 {
+                return Err(ConfigError::ZeroXoff);
+            }
+            let frac = self.pfc.resume_frac;
+            if !frac.is_finite() || !(0.0..1.0).contains(&frac) {
+                return Err(ConfigError::PfcResumeFracInvalid { frac });
+            }
+        }
+        // An RTO below one base round trip (out and back over the slowest
+        // link) guarantees spurious retransmission of healthy traffic.
+        let max_delay = topo
+            .links()
+            .iter()
+            .map(|l| l.delay)
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+        let floor = max_delay + max_delay;
+        if self.rto < floor {
+            return Err(ConfigError::RtoTooShort {
+                rto: self.rto,
+                floor,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -188,5 +292,95 @@ mod tests {
         let c = SimConfig::default().testbed_profile();
         assert!(c.host_stack_latency > SimDuration::ZERO);
         assert!(c.host_stack_jitter > SimDuration::ZERO);
+    }
+
+    fn tiny_topo() -> Topology {
+        use crate::topology::{NodeRole, TopologyBuilder};
+        let mut b = TopologyBuilder::new();
+        let h0 = b.add_host("h0");
+        let h1 = b.add_host("h1");
+        let sw = b.add_switch("sw", NodeRole::Switch);
+        b.connect(h0, sw, BitRate::from_gbps(40), SimDuration::from_micros(1));
+        b.connect(h1, sw, BitRate::from_gbps(40), SimDuration::from_micros(1));
+        b.build()
+    }
+
+    #[test]
+    fn validate_accepts_defaults() {
+        assert_eq!(SimConfig::default().validate(&tiny_topo()), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_empty_topology() {
+        let empty = crate::topology::TopologyBuilder::new().build();
+        assert_eq!(
+            SimConfig::default().validate(&empty),
+            Err(ConfigError::EmptyTopology)
+        );
+        // Hosts but no links is equally unusable.
+        let mut b = crate::topology::TopologyBuilder::new();
+        b.add_host("h0");
+        assert_eq!(
+            SimConfig::default().validate(&b.build()),
+            Err(ConfigError::EmptyTopology)
+        );
+    }
+
+    #[test]
+    fn validate_rejects_zero_line_rate() {
+        use crate::topology::{NodeRole, TopologyBuilder};
+        let mut b = TopologyBuilder::new();
+        let h0 = b.add_host("h0");
+        let sw = b.add_switch("sw", NodeRole::Switch);
+        b.connect(h0, sw, BitRate::from_gbps(0), SimDuration::from_micros(1));
+        assert!(matches!(
+            SimConfig::default().validate(&b.build()),
+            Err(ConfigError::ZeroLineRate { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_zero_mtu() {
+        let cfg = SimConfig {
+            mtu_payload: 0,
+            ..SimConfig::default()
+        };
+        assert_eq!(cfg.validate(&tiny_topo()), Err(ConfigError::ZeroMtu));
+    }
+
+    #[test]
+    fn validate_rejects_zero_xoff() {
+        let mut cfg = SimConfig::default();
+        cfg.pfc.xoff_40g = 0;
+        assert_eq!(cfg.validate(&tiny_topo()), Err(ConfigError::ZeroXoff));
+        // Irrelevant outside lossless mode.
+        cfg.buffer_mode = BufferMode::Unlimited;
+        assert_eq!(cfg.validate(&tiny_topo()), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_xon_at_or_above_xoff() {
+        for frac in [1.0, 1.5, -0.1, f64::NAN, f64::INFINITY] {
+            let mut cfg = SimConfig::default();
+            cfg.pfc.resume_frac = frac;
+            assert!(
+                matches!(
+                    cfg.validate(&tiny_topo()),
+                    Err(ConfigError::PfcResumeFracInvalid { .. })
+                ),
+                "frac {frac} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_rto_below_one_rtt() {
+        let cfg = SimConfig {
+            rto: SimDuration::from_nanos(1_500),
+            ..SimConfig::default()
+        };
+        let err = cfg.validate(&tiny_topo()).unwrap_err();
+        assert!(matches!(err, ConfigError::RtoTooShort { .. }));
+        assert!(err.to_string().contains("round trip"));
     }
 }

@@ -9,6 +9,10 @@ use crate::config::SimConfig;
 use crate::fault::{FaultDecision, FaultEvent, FaultState, FaultTarget};
 use crate::host::Host;
 use crate::packet::{FlowId, Packet, PacketKind};
+use crate::sanitizer::{
+    scan_pause_graph, AuditView, PauseReport, RunVerdict, SanLedger, Sanitizer, SimError,
+    DEFAULT_AUDIT_PERIOD,
+};
 use crate::switch::Switch;
 use crate::telemetry::{DropCause, EventMask, SimEvent, SimProfile};
 use crate::time::{SimDuration, SimTime};
@@ -131,6 +135,9 @@ pub struct Kernel {
     /// Fault-injection runtime state: the plan, a dedicated PRNG independent
     /// of [`Kernel::rng`], and which links/hosts are currently down.
     pub faults: FaultState,
+    /// Byte-conservation ledger for the invariant sanitizer. A single
+    /// predictable branch per hook while disabled (the default).
+    pub san: SanLedger,
     heap: BinaryHeap<Reverse<Scheduled>>,
     seq: u64,
     peak_heap: usize,
@@ -145,6 +152,7 @@ impl Kernel {
             config,
             rng,
             faults,
+            san: SanLedger::default(),
             heap: BinaryHeap::new(),
             seq: 0,
             peak_heap: 0,
@@ -154,6 +162,9 @@ impl Kernel {
     /// Schedule `ev` at absolute time `at` (clamped to be ≥ now).
     pub fn schedule(&mut self, at: SimTime, ev: Event) {
         let at = at.max(self.now);
+        if let Event::Arrive { pkt, .. } = &ev {
+            self.san.heap_add(pkt.wire_bytes());
+        }
         self.seq += 1;
         self.heap.push(Reverse(Scheduled {
             at,
@@ -166,7 +177,22 @@ impl Kernel {
     }
 
     fn pop(&mut self) -> Option<Scheduled> {
-        self.heap.pop().map(|r| r.0)
+        let s = self.heap.pop().map(|r| r.0);
+        if let Some(s) = &s {
+            if let Event::Arrive { pkt, .. } = &s.ev {
+                self.san.heap_sub(pkt.wire_bytes());
+            }
+        }
+        s
+    }
+
+    /// Put a popped-but-undispatched event back without consuming a new
+    /// sequence number (its original ordering is preserved).
+    fn requeue(&mut self, s: Scheduled) {
+        if let Event::Arrive { pkt, .. } = &s.ev {
+            self.san.heap_add(pkt.wire_bytes());
+        }
+        self.heap.push(Reverse(s));
     }
 
     /// Number of pending events (diagnostics).
@@ -233,16 +259,26 @@ pub struct Sim {
     host_cc: Box<dyn HostCcFactory>,
     events_processed: u64,
     wall: std::time::Duration,
+    sanitizer: Sanitizer,
 }
 
 impl Sim {
     /// Build a simulation over `topo` with the given CC factories.
+    ///
+    /// Panics if `config` is inconsistent with the topology (see
+    /// [`SimConfig::validate`]): a silently misbehaving run is worse than a
+    /// loud constructor. The `ROCC_SANITIZE` environment variable (any value
+    /// but `0`) enables the invariant sanitizer on every constructed `Sim` —
+    /// this is how CI runs the whole suite audited.
     pub fn new(
         topo: Topology,
         config: SimConfig,
         host_cc: Box<dyn HostCcFactory>,
         switch_cc: Box<dyn SwitchCcFactory>,
     ) -> Self {
+        if let Err(e) = config.validate(&topo) {
+            panic!("invalid SimConfig: {e}");
+        }
         let mut kernel = Kernel::new(config, topo.links().len(), topo.nodes().len());
         for (at, fe) in kernel.faults.scheduled_events() {
             kernel.schedule(at, Event::Fault(fe));
@@ -260,7 +296,7 @@ impl Sim {
                 }
             }
         }
-        Sim {
+        let mut sim = Sim {
             kernel,
             topo,
             nodes,
@@ -270,7 +306,32 @@ impl Sim {
             host_cc,
             events_processed: 0,
             wall: std::time::Duration::ZERO,
+            sanitizer: Sanitizer::default(),
+        };
+        if std::env::var("ROCC_SANITIZE").map(|v| v != "0").unwrap_or(false) {
+            sim.enable_sanitizer();
         }
+        sim
+    }
+
+    /// Enable the invariant sanitizer and PFC watchdog at the default audit
+    /// cadence ([`DEFAULT_AUDIT_PERIOD`]).
+    pub fn enable_sanitizer(&mut self) {
+        self.enable_sanitizer_with_period(DEFAULT_AUDIT_PERIOD);
+    }
+
+    /// Enable the sanitizer with a custom audit period. Shorter periods
+    /// tighten deadlock-confirmation latency at more audit cost; results
+    /// stay bit-identical either way.
+    pub fn enable_sanitizer_with_period(&mut self, period: SimDuration) {
+        self.kernel.san.enable();
+        let now = self.kernel.now;
+        self.sanitizer.enable(now, period);
+    }
+
+    /// The sanitizer/watchdog state (pause fractions, victims, report).
+    pub fn sanitizer(&self) -> &Sanitizer {
+        &self.sanitizer
     }
 
     /// The topology under simulation.
@@ -356,50 +417,182 @@ impl Sim {
         while let Some(s) = self.kernel.pop() {
             if s.at > t_end {
                 // Not yet due: put it back and stop.
-                self.kernel.heap.push(Reverse(s));
+                self.kernel.requeue(s);
                 self.kernel.now = t_end;
                 break;
             }
             self.kernel.now = s.at;
             self.events_processed += 1;
             self.dispatch(s.ev);
+            // Open-ended runs have no completion criterion to abort toward;
+            // audits still record violations and pause metrics.
+            let _ = self.audit_if_due();
         }
     }
 
     /// Run until all registered finite flows have completed, but no longer
-    /// than `max_t`. Returns true if everything finished.
-    pub fn run_until_flows_done(&mut self, max_t: SimTime) -> bool {
+    /// than `max_t`. Returns a typed [`RunVerdict`]: a run that stalls gets
+    /// a structured diagnosis (confirmed PFC deadlock with the pause cycle
+    /// named, invariant violations, a drained event heap, or a plain
+    /// deadline miss) instead of a bare `false`.
+    pub fn run_until_flows_done(&mut self, max_t: SimTime) -> RunVerdict {
         let started = std::time::Instant::now();
-        let done = self.run_until_flows_done_inner(max_t);
+        let verdict = self.run_until_flows_done_inner(max_t);
         self.wall += started.elapsed();
-        done
+        self.publish_verdict(&verdict);
+        verdict
     }
 
-    fn run_until_flows_done_inner(&mut self, max_t: SimTime) -> bool {
+    fn run_until_flows_done_inner(&mut self, max_t: SimTime) -> RunVerdict {
         let finite = self
             .flows
             .iter()
             .filter(|f| f.size != u64::MAX)
-            .count();
+            .count() as u64;
         if let Some(p) = self.trace.sample_period {
             if self.kernel.now == SimTime::ZERO {
                 self.kernel.schedule(SimTime::ZERO + p, Event::Sample);
             }
         }
-        while self.trace.fcts.len() < finite {
+        while (self.trace.fcts.len() as u64) < finite {
             let Some(s) = self.kernel.pop() else {
-                return false;
+                return RunVerdict::Failed(self.stall_error(finite, true));
             };
             if s.at > max_t {
-                self.kernel.heap.push(Reverse(s));
+                self.kernel.requeue(s);
                 self.kernel.now = max_t;
-                return false;
+                return RunVerdict::Failed(self.stall_error(finite, false));
             }
             self.kernel.now = s.at;
             self.events_processed += 1;
             self.dispatch(s.ev);
+            if let Some(e) = self.audit_if_due() {
+                return RunVerdict::Failed(e);
+            }
         }
-        true
+        // One final audit at end-of-run so a violation in the closing
+        // events cannot slip out unchecked.
+        if self.sanitizer.is_enabled() {
+            if let Some(e) = self.run_audit() {
+                return RunVerdict::Failed(e);
+            }
+        }
+        RunVerdict::Completed { flows: finite }
+    }
+
+    /// Diagnose a stalled run (`drained` = the event heap emptied; otherwise
+    /// the deadline passed). Precedence: a forced audit's invariant
+    /// violations explain the most; then a one-shot pause-graph scan (which
+    /// needs no sanitizer) names a deadlock cycle; else the stall kind.
+    fn stall_error(&mut self, finite: u64, drained: bool) -> SimError {
+        let incomplete = finite.saturating_sub(self.trace.fcts.len() as u64);
+        if self.sanitizer.is_enabled() {
+            if let Some(e @ SimError::InvariantViolation { .. }) = self.run_audit() {
+                return e;
+            }
+        }
+        let report = self.scan_now();
+        if !report.cycle.is_empty() {
+            return SimError::PfcDeadlock {
+                detected_at: self.kernel.now,
+                cycle: report.cycle,
+                victims: report.victims,
+            };
+        }
+        if drained {
+            SimError::Drained {
+                at: self.kernel.now,
+                incomplete_flows: incomplete,
+            }
+        } else {
+            SimError::DeadlineExceeded {
+                at: self.kernel.now,
+                incomplete_flows: incomplete,
+                paused_ports: report.paused_ports.len() as u64,
+            }
+        }
+    }
+
+    /// Run a sanitizer audit if one is due (single branch when disabled).
+    fn audit_if_due(&mut self) -> Option<SimError> {
+        if !self.sanitizer.due(self.kernel.now) {
+            return None;
+        }
+        self.run_audit()
+    }
+
+    /// Run one audit now (unconditionally; callers gate on enablement).
+    fn run_audit(&mut self) -> Option<SimError> {
+        let Sim {
+            kernel,
+            topo,
+            nodes,
+            trace,
+            sanitizer,
+            ..
+        } = self;
+        let mut hosts = Vec::new();
+        let mut switches = Vec::new();
+        for n in nodes.iter() {
+            match n {
+                NodeSlot::Host(h) => hosts.push(h),
+                NodeSlot::Switch(s) => switches.push(s),
+            }
+        }
+        let view = AuditView {
+            now: kernel.now,
+            config: &kernel.config,
+            topo,
+            faults: &kernel.faults,
+            hosts,
+            switches,
+            ledger: &kernel.san,
+        };
+        sanitizer.audit(&view, trace)
+    }
+
+    /// One-shot pause wait-for graph scan of the current state; pure read,
+    /// works with the sanitizer disabled.
+    fn scan_now(&self) -> PauseReport {
+        let mut hosts = Vec::new();
+        let mut switches = Vec::new();
+        for n in &self.nodes {
+            match n {
+                NodeSlot::Host(h) => hosts.push(h),
+                NodeSlot::Switch(s) => switches.push(s),
+            }
+        }
+        let view = AuditView {
+            now: self.kernel.now,
+            config: &self.kernel.config,
+            topo: &self.topo,
+            faults: &self.kernel.faults,
+            hosts,
+            switches,
+            ledger: &self.kernel.san,
+        };
+        scan_pause_graph(&view)
+    }
+
+    /// Publish the run verdict to telemetry and, on failure, dump its JSON
+    /// into `$ROCC_VERDICT_DIR` (CI artifact collection).
+    fn publish_verdict(&mut self, verdict: &RunVerdict) {
+        if let RunVerdict::Failed(e) = verdict {
+            if self.trace.telemetry.wants(EventMask::SANITIZER) {
+                let cycle_len = match e {
+                    SimError::PfcDeadlock { cycle, .. } => cycle.len() as u32,
+                    _ => 0,
+                };
+                self.trace.telemetry.publish(SimEvent::Verdict {
+                    t: self.kernel.now,
+                    kind: e.kind(),
+                    cycle_len,
+                });
+            }
+            if let Ok(dir) = std::env::var("ROCC_VERDICT_DIR") {
+                dump_verdict(&dir, verdict);
+            }
+        }
     }
 
     /// Grace period for retrying events addressed to a host that is
@@ -416,6 +609,7 @@ impl Sim {
                     // by the flap and packets transmitted onto a dead link).
                     if self.kernel.faults.link_is_down(link) {
                         self.trace.faults.link_down_drops += 1;
+                        self.kernel.san.destroy(pkt.wire_bytes());
                         self.publish_drop(to_node, pkt.flow, DropCause::LinkDown);
                         return;
                     }
@@ -423,6 +617,7 @@ impl Sim {
                         && matches!(self.nodes[to_node.0], NodeSlot::Host(_))
                     {
                         self.trace.faults.host_down_drops += 1;
+                        self.kernel.san.destroy(pkt.wire_bytes());
                         self.publish_drop(to_node, pkt.flow, DropCause::HostDown);
                         return;
                     }
@@ -442,6 +637,7 @@ impl Sim {
                                 }
                                 if !matches!(pkt.kind, PacketKind::Ack { .. }) {
                                     self.trace.faults.ctrl_lost += 1;
+                                    self.kernel.san.destroy(pkt.wire_bytes());
                                     self.publish_drop(to_node, pkt.flow, DropCause::FaultLoss);
                                     return;
                                 }
@@ -451,6 +647,7 @@ impl Sim {
                                 } else {
                                     self.trace.faults.ctrl_lost += 1;
                                 }
+                                self.kernel.san.destroy(pkt.wire_bytes());
                                 self.publish_drop(to_node, pkt.flow, DropCause::FaultLoss);
                                 return;
                             }
@@ -461,6 +658,7 @@ impl Sim {
                             } else {
                                 self.trace.faults.ctrl_corrupted += 1;
                             }
+                            self.kernel.san.destroy(pkt.wire_bytes());
                             self.publish_drop(to_node, pkt.flow, DropCause::FaultCorrupt);
                             // Failed FCS: switches discard at ingress; hosts
                             // discard too, but a corrupted data packet nudges
@@ -475,19 +673,43 @@ impl Sim {
                             }
                             return;
                         }
+                        FaultDecision::Duplicate => {
+                            // The NIC/switch emitted the frame twice: a clone
+                            // arrives alongside the original. The clone is
+                            // fresh wire bytes from the ledger's view.
+                            self.trace.faults.duplicated += 1;
+                            self.kernel.san.inject(pkt.wire_bytes());
+                            let now = self.kernel.now;
+                            self.kernel.schedule(now, Event::Arrive { link, pkt });
+                            // The original falls through to normal delivery.
+                        }
+                        FaultDecision::Reorder(delay) => {
+                            // Defer this arrival: the packet goes back on the
+                            // wire (heap) and lands behind later frames. The
+                            // heap ledger re-add balances the pop's subtract,
+                            // so conservation holds throughout.
+                            self.trace.faults.reordered += 1;
+                            let at = self.kernel.now + delay;
+                            self.kernel.schedule(at, Event::Arrive { link, pkt });
+                            return;
+                        }
                     }
                 }
                 match &mut self.nodes[to_node.0] {
                     NodeSlot::Switch(sw) => {
                         sw.handle_arrive(&mut self.kernel, &self.topo, &mut self.trace, to_port, pkt)
                     }
-                    NodeSlot::Host(h) => h.handle_arrive(
-                        &mut self.kernel,
-                        &self.topo,
-                        &mut self.trace,
-                        &self.flow_dir,
-                        pkt,
-                    ),
+                    NodeSlot::Host(h) => {
+                        // Host delivery is the packet's exit from the network.
+                        self.kernel.san.consume(pkt.wire_bytes());
+                        h.handle_arrive(
+                            &mut self.kernel,
+                            &self.topo,
+                            &mut self.trace,
+                            &self.flow_dir,
+                            pkt,
+                        )
+                    }
                 }
             }
             Event::SwitchTxDone { node, port } => {
@@ -643,9 +865,12 @@ impl Sim {
             }
             FaultEvent::HostCrash(n) => {
                 self.kernel.faults.set_host_down(n, true);
-                if let NodeSlot::Host(h) = &mut self.nodes[n.0] {
-                    h.on_crash();
-                }
+                let lost = if let NodeSlot::Host(h) = &mut self.nodes[n.0] {
+                    h.on_crash()
+                } else {
+                    0
+                };
+                self.kernel.san.destroy(lost);
             }
             FaultEvent::HostRestore(n) => {
                 self.kernel.faults.set_host_down(n, false);
@@ -704,6 +929,19 @@ impl Sim {
     }
 }
 
+/// Write a failed verdict's JSON into `dir` for artifact collection.
+/// Best-effort: IO errors are swallowed (a verdict dump must never take
+/// down the run that produced it).
+fn dump_verdict(dir: &str, verdict: &RunVerdict) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let pid = std::process::id();
+    let path = std::path::Path::new(dir).join(format!("verdict_{pid}_{n}.json"));
+    let _ = std::fs::create_dir_all(dir);
+    let _ = std::fs::write(path, verdict.to_json());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -739,7 +977,7 @@ mod tests {
             start: SimTime::ZERO,
             offered: None,
         });
-        assert!(sim.run_until_flows_done(SimTime::from_millis(100)));
+        sim.run_until_flows_done(SimTime::from_millis(100)).assert_complete();
         assert_eq!(sim.trace.fcts.len(), 1);
         let fct = sim.trace.fcts[0].fct();
         // 100 kB at 40 Gb/s ≈ 21 µs (incl. headers) + 2 µs propagation +
@@ -779,7 +1017,7 @@ mod tests {
                 offered: None,
             });
         }
-        assert!(sim.run_until_flows_done(SimTime::from_millis(100)));
+        sim.run_until_flows_done(SimTime::from_millis(100)).assert_complete();
         assert_eq!(sim.trace.fcts.len(), 2);
         let a = sim.trace.fcts[0].fct().as_nanos() as f64;
         let b2 = sim.trace.fcts[1].fct().as_nanos() as f64;
@@ -855,7 +1093,7 @@ mod tests {
                 offered: None,
             });
         }
-        assert!(sim.run_until_flows_done(SimTime::from_millis(100)));
+        sim.run_until_flows_done(SimTime::from_millis(100)).assert_complete();
         assert_eq!(sim.trace.drops, 0);
         assert_eq!(sim.trace.unroutable_drops, 0);
         assert!(
@@ -898,7 +1136,7 @@ mod tests {
             });
         }
         assert!(
-            sim.run_until_flows_done(SimTime::from_millis(500)),
+            sim.run_until_flows_done(SimTime::from_millis(500)).is_complete(),
             "flows must complete despite drops"
         );
         assert!(sim.trace.drops > 0, "tiny buffer incast must drop");

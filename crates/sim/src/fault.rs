@@ -30,7 +30,7 @@
 //! from congestion drops.
 
 use crate::packet::PacketKind;
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 use crate::topology::{LinkId, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -96,6 +96,16 @@ pub struct LinkFault {
     /// check fails: switches discard at ingress; hosts discard and, for
     /// data, nudge go-back-N via a NACK).
     pub corrupt_prob: f64,
+    /// Probability an affected packet is duplicated in transit (both copies
+    /// arrive; models retransmit-happy link layers and switch soft errors).
+    /// Must stay below 0.5 or duplication outpaces delivery.
+    pub dup_prob: f64,
+    /// Probability an affected packet is delayed past its normal arrival
+    /// (delivered out of order relative to later packets on the link).
+    pub reorder_prob: f64,
+    /// Maximum extra delay applied to a reordered packet; the actual delay
+    /// is drawn uniformly from `(0, reorder_delay]`.
+    pub reorder_delay: SimDuration,
     /// Active interval `[start, end)`; `None` covers the whole run.
     pub window: Option<(SimTime, SimTime)>,
 }
@@ -172,6 +182,9 @@ impl FaultPlan {
             target,
             loss_prob: prob,
             corrupt_prob: 0.0,
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
+            reorder_delay: SimDuration::ZERO,
             window: None,
         });
         self
@@ -190,6 +203,9 @@ impl FaultPlan {
             target,
             loss_prob: prob,
             corrupt_prob: 0.0,
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
+            reorder_delay: SimDuration::ZERO,
             window: Some((start, end)),
         });
         self
@@ -202,6 +218,9 @@ impl FaultPlan {
             target,
             loss_prob: 0.0,
             corrupt_prob: prob,
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
+            reorder_delay: SimDuration::ZERO,
             window: None,
         });
         self
@@ -214,6 +233,46 @@ impl FaultPlan {
             target,
             loss_prob: prob,
             corrupt_prob: 0.0,
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
+            reorder_delay: SimDuration::ZERO,
+            window: None,
+        });
+        self
+    }
+
+    /// Add fabric-wide random duplication for a packet class. Both the
+    /// original and the copy arrive (back to back), stressing receiver
+    /// dedup and cumulative-ACK idempotence. `prob` must stay below 0.5 so
+    /// duplication cannot outpace delivery.
+    pub fn with_duplication(mut self, target: FaultTarget, prob: f64) -> Self {
+        assert!(prob < 0.5, "duplication probability must stay below 0.5");
+        self.link_faults.push(LinkFault {
+            link: None,
+            target,
+            loss_prob: 0.0,
+            corrupt_prob: 0.0,
+            dup_prob: prob,
+            reorder_prob: 0.0,
+            reorder_delay: SimDuration::ZERO,
+            window: None,
+        });
+        self
+    }
+
+    /// Add fabric-wide random reordering for a packet class: an affected
+    /// packet is held back by up to `max_delay` and delivered out of order
+    /// relative to packets that left after it.
+    pub fn with_reorder(mut self, target: FaultTarget, prob: f64, max_delay: SimDuration) -> Self {
+        assert!(max_delay > SimDuration::ZERO, "reorder delay must be positive");
+        self.link_faults.push(LinkFault {
+            link: None,
+            target,
+            loss_prob: 0.0,
+            corrupt_prob: 0.0,
+            dup_prob: 0.0,
+            reorder_prob: prob,
+            reorder_delay: max_delay,
             window: None,
         });
         self
@@ -283,6 +342,12 @@ pub enum FaultDecision {
     Lose(FaultTarget),
     /// Arrives corrupted (receiver FCS check fails).
     Corrupt,
+    /// Arrives twice: the original is delivered normally and an identical
+    /// copy arrives immediately after it.
+    Duplicate,
+    /// Arrives late by the carried extra delay, out of order relative to
+    /// packets that left after it.
+    Reorder(SimDuration),
 }
 
 /// Runtime fault state owned by the kernel: the plan, the dedicated fault
@@ -381,6 +446,14 @@ impl FaultState {
             }
             if f.corrupt_prob > 0.0 && self.rng.gen::<f64>() < f.corrupt_prob {
                 return FaultDecision::Corrupt;
+            }
+            if f.dup_prob > 0.0 && self.rng.gen::<f64>() < f.dup_prob {
+                return FaultDecision::Duplicate;
+            }
+            if f.reorder_prob > 0.0 && self.rng.gen::<f64>() < f.reorder_prob {
+                let max_ns = f.reorder_delay.as_nanos().max(1);
+                let delay_ns = self.rng.gen_range(1..=max_ns);
+                return FaultDecision::Reorder(SimDuration::from_nanos(delay_ns));
             }
         }
         FaultDecision::Deliver
@@ -515,6 +588,52 @@ mod tests {
         );
         assert_eq!(
             st.decide(SimTime::ZERO, LinkId(0), &cnp_kind()),
+            FaultDecision::Deliver
+        );
+    }
+
+    #[test]
+    fn duplication_decision() {
+        let plan = FaultPlan::default().with_duplication(FaultTarget::Data, 0.49);
+        let mut st = FaultState::new(plan, 5, 1, 1);
+        let mut dups = 0;
+        for _ in 0..2000 {
+            match st.decide(SimTime::ZERO, LinkId(0), &data_kind()) {
+                FaultDecision::Duplicate => dups += 1,
+                FaultDecision::Deliver => {}
+                other => panic!("unexpected decision {other:?}"),
+            }
+            // Control packets are out of scope for a Data-targeted fault.
+            assert_eq!(
+                st.decide(SimTime::ZERO, LinkId(0), &cnp_kind()),
+                FaultDecision::Deliver
+            );
+        }
+        assert!(dups > 0, "p=0.49 over 2000 draws must duplicate something");
+    }
+
+    #[test]
+    #[should_panic(expected = "below 0.5")]
+    fn duplication_probability_is_clamped() {
+        let _ = FaultPlan::default().with_duplication(FaultTarget::All, 0.5);
+    }
+
+    #[test]
+    fn reorder_decision_bounds_delay() {
+        let max = SimDuration::from_micros(3);
+        let plan = FaultPlan::default().with_reorder(FaultTarget::All, 1.0, max);
+        let mut st = FaultState::new(plan, 11, 1, 1);
+        for _ in 0..500 {
+            match st.decide(SimTime::ZERO, LinkId(0), &data_kind()) {
+                FaultDecision::Reorder(d) => {
+                    assert!(d > SimDuration::ZERO && d <= max, "delay {d:?} out of (0, max]");
+                }
+                other => panic!("p=1.0 must always reorder, got {other:?}"),
+            }
+        }
+        // PFC frames stay exempt from every probabilistic fault.
+        assert_eq!(
+            st.decide(SimTime::ZERO, LinkId(0), &PacketKind::PfcResume),
             FaultDecision::Deliver
         );
     }

@@ -98,6 +98,27 @@ struct ReceiverFlow {
     complete: bool,
 }
 
+/// Read-only snapshot of one sender flow, handed to the invariant
+/// sanitizer (see [`crate::sanitizer`]) for window-ordering and rate-bound
+/// audits.
+#[derive(Debug, Clone, Copy)]
+pub struct SenderAudit {
+    /// The flow.
+    pub flow: FlowId,
+    /// Cumulatively acknowledged bytes.
+    pub acked: u64,
+    /// Next sequence number to transmit.
+    pub next_seq: u64,
+    /// Highest sequence ever sent.
+    pub max_sent: u64,
+    /// Application bytes to transfer (`u64::MAX` = run until stopped).
+    pub size: u64,
+    /// The CC's current pacing-rate decision.
+    pub rate: BitRate,
+    /// Declared `(min, max)` rate bounds, if the CC promises any.
+    pub bounds: Option<(BitRate, BitRate)>,
+}
+
 /// An end host (single NIC port).
 pub struct Host {
     /// This host's node id.
@@ -158,6 +179,43 @@ impl Host {
     /// Number of currently installed sender flows.
     pub fn active_flows(&self) -> usize {
         self.flows.values().filter(|f| !f.stopped).count()
+    }
+
+    /// Wire bytes currently serializing onto the uplink. Queued control
+    /// frames are excluded: they enter the conservation ledger only when
+    /// they reach the wire.
+    pub fn in_flight_wire_bytes(&self) -> u64 {
+        self.in_flight.as_ref().map(|p| p.wire_bytes()).unwrap_or(0)
+    }
+
+    /// True while the NIC is PFC-paused by its attached switch.
+    pub fn is_paused(&self) -> bool {
+        self.paused
+    }
+
+    /// Sanitizer view of every sender flow on this host.
+    pub fn audit_senders(&self) -> Vec<SenderAudit> {
+        self.flows
+            .iter()
+            .map(|(fid, f)| SenderAudit {
+                flow: *fid,
+                acked: f.acked,
+                next_seq: f.next_seq,
+                max_sent: f.max_sent,
+                size: f.size,
+                rate: f.cc.decision().rate,
+                bounds: f.cc.rate_bounds(),
+            })
+            .collect()
+    }
+
+    /// Sanitizer view of every receiver flow on this host:
+    /// `(flow, next expected in-order sequence)`.
+    pub fn audit_receivers(&self) -> Vec<(FlowId, u64)> {
+        let mut v: Vec<(FlowId, u64)> =
+            self.recv.iter().map(|(fid, r)| (*fid, r.expected)).collect();
+        v.sort_unstable_by_key(|(fid, _)| fid.0);
+        v
     }
 
     /// Install a sender flow and try to start transmitting.
@@ -433,9 +491,12 @@ impl Host {
         self.transmit(k, pkt);
     }
 
-    /// Serialize one packet onto the uplink.
+    /// Serialize one packet onto the uplink. Every byte a host puts on the
+    /// wire — data and control alike — enters the sanitizer's conservation
+    /// ledger here.
     fn transmit(&mut self, k: &mut Kernel, pkt: Packet) {
         let ser = self.line_rate.serialization_time(pkt.wire_bytes());
+        k.san.inject(pkt.wire_bytes());
         self.busy = true;
         self.in_flight = Some(pkt);
         k.schedule(k.now + ser, Event::HostTxDone { node: self.id });
@@ -494,8 +555,15 @@ impl Host {
             }
             PacketKind::Nack { expected_seq } => {
                 if let Some(f) = self.flows.get_mut(&pkt.flow) {
-                    if expected_seq < f.next_seq {
-                        f.next_seq = f.acked.max(expected_seq);
+                    // Stale-NACK suppression: under reordering or
+                    // duplication a NACK can arrive after the gap it
+                    // reported was already repaired (its expected_seq is
+                    // below our cumulative ack) — rolling back to before
+                    // `acked` would retransmit delivered data forever.
+                    // Only honor a NACK whose expected_seq still lies in
+                    // the unacked window.
+                    if expected_seq >= f.acked && expected_seq < f.next_seq {
+                        f.next_seq = expected_seq;
                         // Pacing baseline keeps its spacing; the rollback
                         // itself is instantaneous.
                     }
@@ -588,9 +656,16 @@ impl Host {
     /// ack). Receiver-side reassembly state is retained: it lives in host
     /// memory the go-back-N protocol cannot renegotiate, and wiping it would
     /// deadlock any sender mid-flow forever.
-    pub fn on_crash(&mut self) {
+    /// Returns the wire bytes of the destroyed in-flight frame so the
+    /// engine can settle the conservation ledger (queued control frames
+    /// were never injected — they only enter the ledger at `transmit`).
+    pub fn on_crash(&mut self) -> u64 {
         self.busy = false;
-        self.in_flight = None;
+        let lost = self
+            .in_flight
+            .take()
+            .map(|p| p.wire_bytes())
+            .unwrap_or(0);
         self.paused = false;
         self.ctrl_q.clear();
         self.ready.clear();
@@ -607,6 +682,7 @@ impl Host {
                 *g = g.wrapping_add(1);
             }
         }
+        lost
     }
 
     /// Come back from a pause or crash-restart: reset the TX path, re-arm
@@ -616,7 +692,11 @@ impl Host {
     /// during the outage.
     pub fn revive(&mut self, k: &mut Kernel, topo: &Topology, trace: &mut Trace) {
         self.busy = false;
-        self.in_flight = None;
+        // A pause can strand a serialized-but-undelivered frame (its TxDone
+        // was discarded while the host was down); it never reaches the wire.
+        if let Some(p) = self.in_flight.take() {
+            k.san.destroy(p.wire_bytes());
+        }
         self.wake_at = None;
         let fids: Vec<FlowId> = self.flows.keys().copied().collect();
         for fid in fids {
@@ -816,6 +896,14 @@ impl Host {
             let newly = cum_seq.saturating_sub(f.acked);
             if cum_seq > f.acked {
                 f.acked = cum_seq;
+                // A crash rolls next_seq back to the then-current acked; an
+                // ACK already in flight can land afterwards and cover bytes
+                // past the rollback point. Those bytes are delivered — skip
+                // ahead rather than retransmit them (and keep the
+                // acked ≤ next_seq invariant intact).
+                if f.next_seq < f.acked {
+                    f.next_seq = f.acked;
+                }
             }
             let rtt = k.now.saturating_since(data_tx_time);
             let ack = AckEvent {

@@ -52,7 +52,7 @@
 //!         offered: None,
 //!     });
 //! }
-//! assert!(sim.run_until_flows_done(SimTime::from_millis(50)));
+//! sim.run_until_flows_done(SimTime::from_millis(50)).assert_complete();
 //! assert_eq!(sim.trace.fcts.len(), 2);
 //! ```
 //!
@@ -68,6 +68,7 @@ pub mod engine;
 pub mod fault;
 pub mod host;
 pub mod packet;
+pub mod sanitizer;
 pub mod switch;
 pub mod telemetry;
 pub mod time;
@@ -82,16 +83,19 @@ pub mod prelude {
         NullHostCcFactory, NullSwitchCcFactory, PacketMeta, RateDecision, SwitchCc, SwitchCcCtx,
         SwitchCcFactory,
     };
-    pub use crate::config::{BufferMode, PfcConfig, SimConfig};
+    pub use crate::config::{BufferMode, ConfigError, PfcConfig, SimConfig};
     pub use crate::engine::{Event, FlowMeta, FlowSpec, Kernel, Sim};
     pub use crate::fault::{
         FaultDecision, FaultEvent, FaultPlan, FaultState, FaultTarget, HostFault, HostFaultKind,
         LinkFault, LinkFlap,
     };
     pub use crate::packet::{CpId, FlowId, IntHop, IntStack, Packet, PacketKind};
+    pub use crate::sanitizer::{
+        PauseCycleNode, PauseReport, RunVerdict, Sanitizer, SanitizerReport, SimError,
+    };
     pub use crate::telemetry::{
         CcEvent, CounterLabels, CpDecisionKind, DropCause, EventMask, EventSubscriber, Histogram,
-        RpTransitionKind, SimEvent, SimProfile, Telemetry,
+        RpTransitionKind, SimEvent, SimProfile, Telemetry, VerdictKind,
     };
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::topology::{LinkId, NodeId, NodeRole, PortId, Topology, TopologyBuilder};

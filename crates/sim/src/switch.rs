@@ -151,6 +151,68 @@ impl Switch {
         self.ports[p.0].cc.timer_period()
     }
 
+    /// Total wire bytes resident in this switch: every control queue, data
+    /// queue, and in-serialization frame across all ports. Conservation
+    /// audits count these as in-network.
+    pub fn buffered_wire_bytes(&self) -> u64 {
+        self.ports
+            .iter()
+            .map(|p| {
+                p.ctrl_q.iter().map(|q| q.pkt.wire_bytes()).sum::<u64>()
+                    + p.data_q.iter().map(|q| q.pkt.wire_bytes()).sum::<u64>()
+                    + p.in_flight
+                        .as_ref()
+                        .map(|q| q.pkt.wire_bytes())
+                        .unwrap_or(0)
+            })
+            .sum()
+    }
+
+    /// Recomputed wire bytes in the data FIFO of egress `p` (the sanitizer
+    /// cross-checks this against the incrementally maintained
+    /// [`Port::qlen_bytes`]).
+    pub fn data_q_wire_bytes(&self, p: PortId) -> u64 {
+        self.ports[p.0]
+            .data_q
+            .iter()
+            .map(|q| q.pkt.wire_bytes())
+            .sum()
+    }
+
+    /// Bytes currently buffered on behalf of ingress port `p` (the PFC
+    /// accounting counter).
+    pub fn ingress_buffered(&self, p: PortId) -> u64 {
+        self.ingress_buffered[p.0]
+    }
+
+    /// True while this switch has PAUSEd the upstream neighbor of ingress
+    /// port `p` (XOFF sent, XON not yet).
+    pub fn sent_xoff(&self, p: PortId) -> bool {
+        self.sent_xoff[p.0]
+    }
+
+    /// Wire bytes queued in egress `egress`'s data FIFO that arrived via
+    /// `ingress` — the per-(ingress, egress) slice of PFC accounting the
+    /// pause wait-for graph edges are built from.
+    pub fn ingress_bytes_at(&self, egress: PortId, ingress: PortId) -> u64 {
+        self.ports[egress.0]
+            .data_q
+            .iter()
+            .filter(|q| q.ingress == Some(ingress))
+            .map(|q| q.pkt.wire_bytes())
+            .sum()
+    }
+
+    /// `(flow, destination)` of every data packet queued on egress `egress`,
+    /// in FIFO order — used for victim-flow attribution in pause storms.
+    pub fn queued_flows(&self, egress: PortId) -> Vec<(FlowId, NodeId)> {
+        self.ports[egress.0]
+            .data_q
+            .iter()
+            .map(|q| (q.pkt.flow, q.pkt.dst))
+            .collect()
+    }
+
     fn cc_ctx<'a>(&self, k: &'a mut Kernel, p: PortId, mask: EventMask) -> SwitchCcCtx<'a> {
         let port = &self.ports[p.0];
         SwitchCcCtx {
@@ -222,9 +284,11 @@ impl Switch {
     ) {
         match pkt.kind {
             PacketKind::PfcPause => {
+                k.san.consume(pkt.wire_bytes());
                 self.ports[in_port.0].paused = true;
             }
             PacketKind::PfcResume => {
+                k.san.consume(pkt.wire_bytes());
                 self.ports[in_port.0].paused = false;
                 self.try_start_tx(k, topo, trace, in_port);
             }
@@ -234,6 +298,7 @@ impl Switch {
                     // congestion drops: any nonzero count flags a topology
                     // or routing bug, not load.
                     trace.unroutable_drops += 1;
+                    k.san.destroy(pkt.wire_bytes());
                     self.publish_drop(k, trace, pkt.flow, DropCause::Unroutable);
                     return;
                 };
@@ -258,6 +323,7 @@ impl Switch {
         // PFC never backpressures traffic that could not be delivered anyway.
         if k.faults.is_active() && k.faults.link_is_down(self.ports[egress.0].link) {
             trace.faults.link_down_drops += 1;
+            k.san.destroy(pkt.wire_bytes());
             self.publish_drop(k, trace, pkt.flow, DropCause::LinkDown);
             return;
         }
@@ -275,6 +341,7 @@ impl Switch {
         if let BufferMode::LossyTailDrop { limit_bytes } = k.config.buffer_mode {
             if self.ports[egress.0].qlen_bytes + wire > limit_bytes {
                 trace.drops += 1;
+                k.san.destroy(wire);
                 self.publish_drop(k, trace, pkt.flow, DropCause::Congestion);
                 return;
             }
@@ -331,6 +398,7 @@ impl Switch {
             int: Default::default(),
             sent_at: k.now,
         };
+        k.san.inject(pkt.wire_bytes());
         k.schedule(k.now + ser + link.delay, Event::Arrive { link: port.link, pkt });
     }
 
@@ -359,6 +427,9 @@ impl Switch {
                 continue;
             };
             trace.ctrl_emitted += 1;
+            // Switch-originated feedback is born here: it enters the
+            // conservation ledger at the instant it is queued.
+            k.san.inject(pkt.wire_bytes());
             if trace.telemetry.wants(EventMask::CNP) {
                 let (cp, units) = match pkt.kind {
                     PacketKind::RoccCnp {
@@ -412,7 +483,12 @@ impl Switch {
                     let emits = std::mem::take(&mut ctx.emits);
                     let events = std::mem::take(&mut ctx.events);
                     if let Some(h) = hop {
+                        // INT stamping grows the frame in flight; the added
+                        // telemetry bytes enter the wire here, so the
+                        // conservation ledger books them as injected.
+                        let before = qp.pkt.wire_bytes();
                         qp.pkt.int.push(h);
+                        k.san.inject(qp.pkt.wire_bytes() - before);
                     }
                     self.publish_cc_events(k, trace, p, events);
                     self.inject_feedback(k, topo, trace, emits);

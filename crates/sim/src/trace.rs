@@ -71,10 +71,18 @@ pub struct FaultCounters {
     /// Packets of any class discarded because their destination host was
     /// paused or crashed.
     pub host_down_drops: u64,
+    /// Packets duplicated in transit (both copies delivered). Not counted
+    /// in [`FaultCounters::total`]: duplication destroys nothing.
+    pub duplicated: u64,
+    /// Packets delivered out of order by an injected reorder fault. Not
+    /// counted in [`FaultCounters::total`]: reordering destroys nothing.
+    pub reordered: u64,
 }
 
 impl FaultCounters {
-    /// Total packets destroyed by fault injection across all classes.
+    /// Total packets *destroyed* by fault injection across all classes
+    /// (duplication and reordering perturb delivery without destroying
+    /// packets, so they are excluded).
     pub fn total(&self) -> u64 {
         self.data_lost
             + self.ctrl_lost
@@ -378,6 +386,10 @@ mod tests {
         f.ctrl_corrupted = 2;
         f.link_down_drops = 1;
         f.host_down_drops = 4;
+        assert_eq!(f.total(), 10);
+        // Duplication/reordering perturb but don't destroy — excluded.
+        f.duplicated = 7;
+        f.reordered = 9;
         assert_eq!(f.total(), 10);
     }
 

@@ -44,7 +44,7 @@ fn unlimited_buffer_never_pauses_or_drops() {
             offered: None,
         });
     }
-    assert!(sim.run_until_flows_done(SimTime::from_millis(200)));
+    sim.run_until_flows_done(SimTime::from_millis(200)).assert_complete();
     assert_eq!(sim.trace.drops, 0);
     assert!(sim.trace.pfc_events.is_empty());
 }
@@ -70,7 +70,7 @@ fn pfc_resume_follows_pause_and_traffic_completes() {
             offered: None,
         });
     }
-    assert!(sim.run_until_flows_done(SimTime::from_millis(200)));
+    sim.run_until_flows_done(SimTime::from_millis(200)).assert_complete();
     assert!(
         !sim.trace.pfc_events.is_empty(),
         "8×10G into 10G with 16 MB of data must pause"
@@ -121,7 +121,7 @@ fn tiny_window_cannot_deadlock() {
         offered: None,
     });
     assert!(
-        sim.run_until_flows_done(SimTime::from_millis(100)),
+        sim.run_until_flows_done(SimTime::from_millis(100)).is_complete(),
         "sub-MTU window must still make progress one packet at a time"
     );
     // Stop-and-wait: FCT is dominated by ~50 RTTs.
@@ -228,7 +228,7 @@ fn ecmp_spreads_fat_tree_flows_across_trunks() {
             offered: Some(BitRate::from_gbps(4)),
         });
     }
-    assert!(sim.run_until_flows_done(SimTime::from_millis(100)));
+    sim.run_until_flows_done(SimTime::from_millis(100)).assert_complete();
     let (_, tx0) = sim.switch(s0).snapshot(t0);
     let (_, tx1) = sim.switch(s0).snapshot(t1);
     assert!(tx0 > 0 && tx1 > 0, "both trunks must carry data: {tx0} / {tx1}");
@@ -259,7 +259,7 @@ fn tail_loss_recovers_via_rto() {
         });
     }
     assert!(
-        sim.run_until_flows_done(SimTime::from_millis(1000)),
+        sim.run_until_flows_done(SimTime::from_millis(1000)).is_complete(),
         "flows stuck: drops={} retx={}",
         sim.trace.drops,
         sim.trace.retx_bytes
@@ -316,7 +316,7 @@ fn acks_flow_even_while_data_is_pfc_paused() {
         start: SimTime::ZERO,
         offered: None,
     });
-    assert!(sim.run_until_flows_done(SimTime::from_millis(300)));
+    sim.run_until_flows_done(SimTime::from_millis(300)).assert_complete();
     assert!(!sim.trace.pfc_events.is_empty(), "incast must pause");
     assert_eq!(sim.trace.drops, 0);
     assert_eq!(sim.trace.fcts.len(), 3);
@@ -340,7 +340,7 @@ fn zero_size_edge_flows() {
         start: SimTime::ZERO,
         offered: None,
     });
-    assert!(sim.run_until_flows_done(SimTime::from_millis(10)));
+    sim.run_until_flows_done(SimTime::from_millis(10)).assert_complete();
     let fct = sim.trace.fcts[0].fct();
     // Two 1 µs hops + store-and-forward of a 49 B frame: just over 2 µs.
     assert!(fct.as_nanos() > 2_000 && fct.as_nanos() < 20_000, "FCT {fct}");
@@ -367,7 +367,7 @@ fn simultaneous_flows_same_host_pair_are_independent() {
             offered: None,
         });
     }
-    assert!(sim.run_until_flows_done(SimTime::from_millis(100)));
+    sim.run_until_flows_done(SimTime::from_millis(100)).assert_complete();
     assert_eq!(sim.trace.fcts.len(), 16);
     for i in 0..16 {
         assert_eq!(sim.trace.delivered_bytes(FlowId(i)), 10_000 * (i + 1));

@@ -108,7 +108,7 @@ fn faulted_incast(seed: u64, telemetry: bool) -> (RunSummary, u64) {
             offered: None,
         });
     }
-    let done = sim.run_until_flows_done(SimTime::from_millis(100));
+    let done = sim.run_until_flows_done(SimTime::from_millis(100)).is_complete();
     assert!(done, "faulted incast must complete within the horizon");
     if telemetry {
         // The instrumented run really observed the run from all angles.
@@ -133,6 +133,63 @@ fn telemetry_is_invisible_to_the_simulation() {
         assert_eq!(
             plain, observed,
             "telemetry perturbed the run at seed {seed}"
+        );
+    }
+}
+
+/// The sanitizer obeys the same discipline as telemetry: audits are pure
+/// reads between events, so a sanitizer-on run of a clean simulation is
+/// bit-identical to the same seed with the sanitizer off, and its verdict
+/// is `Completed`. (Runs that trip an invariant or deadlock *are* allowed
+/// to diverge — aborting early is the sanitizer's whole point.)
+#[test]
+fn sanitizer_is_invisible_to_clean_runs() {
+    let run = |seed: u64, sanitize: bool| {
+        let (topo, srcs, dst) = dumbbell(6, 40);
+        let cfg = SimConfig {
+            seed,
+            fault_plan: FaultPlan::default()
+                .with_loss(FaultTarget::Data, 0.004)
+                .with_duplication(FaultTarget::Data, 0.01)
+                .with_reorder(FaultTarget::All, 0.01, SimDuration::from_micros(5)),
+            ..SimConfig::default()
+        };
+        let mut sim = Sim::new(
+            topo,
+            cfg,
+            Box::new(RoccHostCcFactory::new()),
+            Box::new(RoccSwitchCcFactory::new()),
+        );
+        if sanitize {
+            // A short period maximizes the chance of catching any
+            // state-perturbing audit.
+            sim.enable_sanitizer_with_period(SimDuration::from_micros(5));
+        }
+        for (i, &s) in srcs.iter().enumerate() {
+            sim.add_flow(FlowSpec {
+                id: FlowId(i as u64),
+                src: s,
+                dst,
+                size: 1_000_000,
+                start: SimTime::ZERO,
+                offered: None,
+            });
+        }
+        let verdict = sim.run_until_flows_done(SimTime::from_millis(100));
+        verdict.assert_complete();
+        if sanitize {
+            let report = sim.sanitizer().report();
+            assert!(report.audits > 0, "sanitizer never audited");
+            assert!(report.violations.is_empty(), "{report:?}");
+        }
+        summarize(&sim)
+    };
+    for seed in [1u64, 7, 42, 1234] {
+        let plain = run(seed, false);
+        let audited = run(seed, true);
+        assert_eq!(
+            plain, audited,
+            "the sanitizer perturbed the run at seed {seed}"
         );
     }
 }
@@ -166,7 +223,7 @@ fn telemetry_output_is_deterministic() {
                 offered: None,
             });
         }
-        sim.run_until_flows_done(SimTime::from_millis(50));
+        let _ = sim.run_until_flows_done(SimTime::from_millis(50));
         let metrics = sim.trace.telemetry.metrics_json();
         let timeline: Vec<String> = sim
             .trace

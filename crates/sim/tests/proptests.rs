@@ -141,7 +141,7 @@ proptest! {
                 offered: None,
             });
         }
-        prop_assert!(sim.run_until_flows_done(SimTime::from_millis(500)));
+        prop_assert!(sim.run_until_flows_done(SimTime::from_millis(500)).is_complete());
         prop_assert_eq!(sim.trace.drops, 0);
         prop_assert_eq!(sim.trace.retx_bytes, 0);
         prop_assert_eq!(sim.trace.fcts.len(), sizes.len());
@@ -197,7 +197,7 @@ proptest! {
             });
         }
         prop_assert!(
-            sim.run_until_flows_done(SimTime::from_millis(2000)),
+            sim.run_until_flows_done(SimTime::from_millis(2000)).is_complete(),
             "flows stuck with limit {limit_kb} KB (drops {})",
             sim.trace.drops
         );

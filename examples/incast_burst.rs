@@ -62,7 +62,7 @@ fn run(with_rocc: bool) -> Outcome {
             offered: None,
         });
     }
-    assert!(sim.run_until_flows_done(SimTime::from_millis(100)));
+    sim.run_until_flows_done(SimTime::from_millis(100)).assert_complete();
 
     let fcts: Vec<f64> = sim.trace.fcts.iter().map(|r| r.fct().as_secs_f64() * 1e3).collect();
     let q: Vec<f64> = sim.trace.queue_series[0].iter().map(|s| s.v).collect();

@@ -59,7 +59,7 @@
 //!         offered: None,
 //!     });
 //! }
-//! assert!(sim.run_until_flows_done(SimTime::from_millis(50)));
+//! sim.run_until_flows_done(SimTime::from_millis(50)).assert_complete();
 //! assert_eq!(sim.trace.fcts.len(), 2);
 //! ```
 //!
