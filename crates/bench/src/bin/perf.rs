@@ -1,0 +1,178 @@
+//! Engine performance benchmark: events/sec on a chaos-grade incast and
+//! end-to-end wall-clock on the multi-seed incast sweep (serial and
+//! parallel), emitted as `BENCH_sim.json` so CI can track the perf
+//! trajectory and fail on regressions.
+//!
+//! Usage:
+//!   perf bench <out_dir>      — run benchmarks, write <out_dir>/BENCH_sim.json
+//!   perf check <fresh> <base> — exit nonzero if <fresh> regressed >20%
+//!                               in events/sec against committed <base>
+
+use rocc_experiments::micro::sim_with;
+use rocc_experiments::parallel::{map_cells, ExecMode};
+use rocc_experiments::schemes::Scheme;
+use rocc_sim::prelude::*;
+
+/// Pre-refactor single-thread throughput (events/sec) of the seed
+/// engine on this benchmark, measured before the slab/FxHashMap rework.
+/// Kept in the JSON so the speedup trajectory stays visible even after
+/// the baseline file is regenerated on faster hardware.
+const PRE_REFACTOR_EVENTS_PER_SEC: f64 = 1_937_557.0;
+/// Pre-refactor serial sweep wall-clock (seconds) on the same host.
+const PRE_REFACTOR_SWEEP_SECONDS: f64 = 0.340;
+
+/// Dumbbell: `n` senders incast one receiver through a single switch.
+fn dumbbell(n: usize, gbps: u64) -> (Topology, Vec<NodeId>, NodeId) {
+    let mut b = TopologyBuilder::new();
+    let sw = b.add_switch("sw", NodeRole::Switch);
+    let dst = b.add_host("dst");
+    b.connect(sw, dst, BitRate::from_gbps(gbps), SimDuration::from_micros(1));
+    let mut srcs = Vec::new();
+    for i in 0..n {
+        let h = b.add_host(format!("s{i}"));
+        b.connect(h, sw, BitRate::from_gbps(gbps), SimDuration::from_micros(1));
+        srcs.push(h);
+    }
+    (b.build(), srcs, dst)
+}
+
+/// One incast cell: `senders` flows of `size` bytes under `scheme`.
+fn incast_cell(scheme: Scheme, senders: usize, size: u64, seed: u64) -> (u64, f64) {
+    let (topo, srcs, dst) = dumbbell(senders, 40);
+    let cfg = SimConfig {
+        seed,
+        ..SimConfig::default()
+    };
+    let mut sim = sim_with(topo, scheme, 4, cfg);
+    for (i, &s) in srcs.iter().enumerate() {
+        sim.add_flow(FlowSpec {
+            id: FlowId(i as u64),
+            src: s,
+            dst,
+            size,
+            start: SimTime::ZERO,
+            offered: None,
+        });
+    }
+    sim.run_until_flows_done(SimTime::from_millis(400)).assert_complete();
+    let p = sim.profile();
+    (p.events_processed, p.wall_seconds)
+}
+
+/// Single-thread engine throughput: one large RoCC incast, best of 3.
+fn bench_engine() -> (u64, f64) {
+    let mut best: Option<(u64, f64)> = None;
+    for rep in 0..3 {
+        let (events, wall) = incast_cell(Scheme::Rocc, 12, 4_000_000, 100 + rep);
+        if best.is_none_or(|(_, bw)| wall < bw) {
+            best = Some((events, wall));
+        }
+    }
+    best.unwrap()
+}
+
+/// The multi-seed incast sweep grid: 3 schemes × 5 seeds.
+fn sweep_cells() -> Vec<(Scheme, u64)> {
+    let mut cells = Vec::new();
+    for scheme in Scheme::large_scale_set() {
+        for seed in 0..5u64 {
+            cells.push((scheme, 1000 + seed));
+        }
+    }
+    cells
+}
+
+/// Run the sweep in the given mode, returning (wall seconds, total
+/// events processed across cells — identical in both modes by
+/// construction, asserted by the caller).
+fn run_sweep(mode: ExecMode) -> (f64, u64) {
+    let t0 = std::time::Instant::now();
+    let events = map_cells(mode, sweep_cells(), |(scheme, seed)| {
+        incast_cell(scheme, 6, 1_000_000, seed).0
+    });
+    (t0.elapsed().as_secs_f64(), events.iter().sum())
+}
+
+/// Extract `"key":<number>` from a flat-enough JSON document. Fails the
+/// process on a missing key: a baseline that lost its fields should
+/// fail the check loudly, not silently pass.
+fn json_number(doc: &str, key: &str) -> f64 {
+    let needle = format!("\"{key}\":");
+    let at = doc
+        .find(&needle)
+        .unwrap_or_else(|| panic!("key {key:?} missing from JSON"));
+    let rest = &doc[at + needle.len()..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end]
+        .parse()
+        .unwrap_or_else(|e| panic!("key {key:?} is not a number: {e}"))
+}
+
+fn cmd_bench(out_dir: &str) {
+    let (events, wall) = bench_engine();
+    let eps = events as f64 / wall;
+    let (sweep_serial, ev_serial) = run_sweep(ExecMode::Serial);
+    let (sweep_parallel, ev_parallel) = run_sweep(ExecMode::Parallel);
+    assert_eq!(
+        ev_serial, ev_parallel,
+        "parallel sweep processed a different event count — determinism broken"
+    );
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let engine_speedup = eps / PRE_REFACTOR_EVENTS_PER_SEC;
+    let sweep_speedup = PRE_REFACTOR_SWEEP_SECONDS / sweep_serial.min(sweep_parallel);
+    println!("engine: {events} events in {wall:.3}s = {eps:.0} events/sec ({engine_speedup:.2}x vs pre-refactor)");
+    println!("sweep (serial):   {sweep_serial:.3}s over {ev_serial} events");
+    println!("sweep (parallel): {sweep_parallel:.3}s on {threads} thread(s)");
+    println!("sweep speedup vs pre-refactor: {sweep_speedup:.2}x");
+    let json = format!(
+        "{{\"engine\":{{\"events_processed\":{events},\"wall_seconds\":{wall},\"events_per_sec\":{eps},\
+         \"pre_refactor_events_per_sec\":{PRE_REFACTOR_EVENTS_PER_SEC},\"speedup_vs_pre_refactor\":{engine_speedup}}},\
+         \"sweep\":{{\"serial_wall_seconds\":{sweep_serial},\"parallel_wall_seconds\":{sweep_parallel},\
+         \"threads\":{threads},\"events_total\":{ev_serial},\
+         \"pre_refactor_serial_wall_seconds\":{PRE_REFACTOR_SWEEP_SECONDS},\"speedup_vs_pre_refactor\":{sweep_speedup}}}}}"
+    );
+    std::fs::create_dir_all(out_dir).expect("create out dir");
+    let path = format!("{out_dir}/BENCH_sim.json");
+    std::fs::write(&path, json).expect("write BENCH_sim.json");
+    println!("wrote {path}");
+}
+
+fn cmd_check(fresh_path: &str, base_path: &str) {
+    let fresh = std::fs::read_to_string(fresh_path).expect("read fresh BENCH_sim.json");
+    let base = std::fs::read_to_string(base_path).expect("read base BENCH_sim.json");
+    let fresh_eps = json_number(&fresh, "events_per_sec");
+    let base_eps = json_number(&base, "events_per_sec");
+    let floor = 0.8 * base_eps;
+    println!("fresh: {fresh_eps:.0} events/sec, committed baseline: {base_eps:.0} (floor {floor:.0})");
+    if fresh_eps < floor {
+        eprintln!(
+            "PERF REGRESSION: events/sec dropped {:.1}% (allowed: 20%)",
+            100.0 * (1.0 - fresh_eps / base_eps)
+        );
+        std::process::exit(1);
+    }
+    println!("perf check passed");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(|s| s.as_str()) {
+        Some("bench") => {
+            let out_dir = args.get(2).map(|s| s.as_str()).unwrap_or("bench_out");
+            cmd_bench(out_dir);
+        }
+        Some("check") => {
+            let (Some(fresh), Some(base)) = (args.get(2), args.get(3)) else {
+                eprintln!("usage: perf check <fresh> <base>");
+                std::process::exit(2);
+            };
+            cmd_check(fresh, base);
+        }
+        _ => {
+            eprintln!("usage: perf bench <out_dir> | perf check <fresh> <base>");
+            std::process::exit(2);
+        }
+    }
+}

@@ -26,9 +26,12 @@ impl Fx {
     /// One.
     pub const ONE: Fx = Fx(ONE_RAW);
 
-    /// From an integer.
+    /// From an integer, saturating at the Q47.16 range limits. A hardware
+    /// register clips at its rails rather than wrapping, so a rate or gain
+    /// that exceeds the representable range pins to the extreme instead of
+    /// silently corrupting the datapath.
     pub const fn from_int(v: i64) -> Fx {
-        Fx(v << FRAC_BITS)
+        Fx(v.saturating_mul(ONE_RAW))
     }
 
     /// From a float, rounding to the nearest representable value. Intended
@@ -58,9 +61,9 @@ impl Fx {
         self.0
     }
 
-    /// Multiply by an integer.
+    /// Multiply by an integer, saturating (hardware-register semantics).
     pub const fn mul_int(self, v: i64) -> Fx {
-        Fx(self.0 * v)
+        Fx(self.0.saturating_mul(v))
     }
 
     /// Fixed × fixed multiply (single rounding step, as a hardware
@@ -74,9 +77,29 @@ impl Fx {
         Fx(self.0 >> k)
     }
 
-    /// Multiply by 2^k (shift).
+    /// Multiply by 2^k (shift), saturating toward the sign. An unchecked
+    /// shift panics in debug and wraps in release once `k` exceeds the
+    /// headroom above the value's top bit; a hardware barrel shifter clips
+    /// at the register rails instead.
     pub const fn shl(self, k: u32) -> Fx {
-        Fx(self.0 << k)
+        if self.0 == 0 {
+            return Fx(0);
+        }
+        // Bits of headroom before the shift reaches the sign bit.
+        let headroom = if self.0 > 0 {
+            self.0.leading_zeros() - 1
+        } else {
+            (!self.0).leading_zeros() - 1
+        };
+        if k > headroom {
+            if self.0 > 0 {
+                Fx(i64::MAX)
+            } else {
+                Fx(i64::MIN)
+            }
+        } else {
+            Fx(self.0 << k)
+        }
     }
 
     /// Halve (MD fast path, Alg. 1 line 5).
@@ -172,6 +195,47 @@ mod tests {
         assert_eq!(Fx::from_int(5).clamp_fx(lo, hi), lo);
         assert_eq!(Fx::from_int(9000).clamp_fx(lo, hi), hi);
         assert_eq!(Fx::from_int(77).clamp_fx(lo, hi), Fx::from_int(77));
+    }
+
+    #[test]
+    fn from_int_saturates_at_the_rails() {
+        // Largest exactly representable integer: i64::MAX >> 16.
+        let max_int = i64::MAX >> FRAC_BITS;
+        assert_eq!(Fx::from_int(max_int).raw(), max_int << FRAC_BITS);
+        // One past it would wrap with an unchecked shift; it must pin.
+        assert_eq!(Fx::from_int(max_int + 1), Fx(i64::MAX));
+        assert_eq!(Fx::from_int(i64::MAX), Fx(i64::MAX));
+        assert_eq!(Fx::from_int(i64::MIN), Fx(i64::MIN));
+        let min_int = i64::MIN >> FRAC_BITS;
+        assert_eq!(Fx::from_int(min_int).raw(), min_int << FRAC_BITS);
+    }
+
+    #[test]
+    fn mul_int_saturates_at_the_rails() {
+        let big = Fx::from_int(1 << 40);
+        assert_eq!(big.mul_int(1 << 30), Fx(i64::MAX));
+        assert_eq!(big.mul_int(-(1 << 30)), Fx(i64::MIN));
+        assert_eq!((-big).mul_int(1 << 30), Fx(i64::MIN));
+        // Normal range is untouched.
+        assert_eq!(Fx::from_int(3).mul_int(7), Fx::from_int(21));
+        assert_eq!(Fx::from_int(-3).mul_int(7), Fx::from_int(-21));
+    }
+
+    #[test]
+    fn shl_saturates_toward_the_sign() {
+        assert_eq!(Fx::ZERO.shl(63), Fx::ZERO);
+        assert_eq!(Fx::ONE.shl(2), Fx::from_int(4));
+        // i64::MAX has zero headroom: any shift pins.
+        assert_eq!(Fx(i64::MAX).shl(1), Fx(i64::MAX));
+        assert_eq!(Fx(i64::MIN).shl(1), Fx(i64::MIN));
+        // A shift count past the word size must not be UB either.
+        assert_eq!(Fx::ONE.shl(200), Fx(i64::MAX));
+        assert_eq!((-Fx::ONE).shl(200), Fx(i64::MIN));
+        // Exactly-at-headroom shifts are still exact.
+        assert_eq!(Fx(1).shl(62).raw(), 1i64 << 62);
+        assert_eq!(Fx(-1).shl(63).raw(), i64::MIN);
+        // Round trip with shr in the normal range stays lossless.
+        assert_eq!(Fx::from_int(125).shl(5).shr(5), Fx::from_int(125));
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! go-back-N study (Fig. 20).
 
 use crate::micro::sim_with;
+use crate::parallel::{self, ExecMode};
 use crate::scenarios::{self, FatTree};
 use crate::schemes::Scheme;
 use crate::Scale;
@@ -274,13 +275,61 @@ pub struct SchemeFcts {
     pub all_completed: bool,
 }
 
-/// Run `scheme` for `reps` seeds and aggregate.
-pub fn scheme_fcts(
+impl SchemeFcts {
+    /// Canonical JSON rendering: fixed field order, shortest-roundtrip
+    /// float formatting. Two runs that computed bit-identical statistics
+    /// produce byte-identical strings, which the determinism suite
+    /// compares directly.
+    pub fn to_json(&self) -> String {
+        let bins: Vec<String> = self
+            .bins
+            .iter()
+            .map(|b| {
+                format!(
+                    "{{\"bin\":{},\"avg\":{},\"avg_ci\":{},\"p90\":{},\"p90_ci\":{},\"p99\":{},\"p99_ci\":{},\"count\":{}}}",
+                    b.bin, b.avg.mean, b.avg.ci95, b.p90.mean, b.p90.ci95,
+                    b.p99.mean, b.p99.ci95, b.count
+                )
+            })
+            .collect();
+        let rates: Vec<String> = self.flow_rates.iter().map(|r| format!("{r}")).collect();
+        format!(
+            "{{\"scheme\":\"{}\",\"bins\":[{}],\"flow_rates\":[{}],\
+             \"pfc\":[{},{},{}],\"queues\":[{},{},{}],\
+             \"retx_fraction\":{},\"drops\":{},\"all_completed\":{}}}",
+            self.scheme.name(),
+            bins.join(","),
+            rates.join(","),
+            self.pfc[0],
+            self.pfc[1],
+            self.pfc[2],
+            self.queues[0],
+            self.queues[1],
+            self.queues[2],
+            self.retx_fraction,
+            self.drops,
+            self.all_completed
+        )
+    }
+}
+
+/// Seed for repetition `rep` — shared by the serial and parallel paths
+/// so both run the exact same cells.
+fn rep_seed(rep: usize) -> u64 {
+    1000 + rep as u64
+}
+
+/// Fold per-repetition outputs (in repetition order) into one scheme row.
+///
+/// Extracted from [`scheme_fcts`] so the parallel runner can fan out
+/// individual `(scheme, rep)` cells and aggregate afterwards with the
+/// exact arithmetic — and accumulation order — of the serial loop,
+/// keeping the two paths bit-identical.
+pub fn aggregate_outputs(
     scheme: Scheme,
     workload: Workload,
-    load: f64,
     cfg: &FatTreeConfig,
-    regime: BufferRegime,
+    outputs: &[RunOutput],
 ) -> SchemeFcts {
     let edges = workload.dist().report_bins();
     let mut per_rep_avg: Vec<Vec<f64>> = vec![Vec::new(); edges.len()];
@@ -292,8 +341,7 @@ pub fn scheme_fcts(
     let mut queues = [0.0f64; 3];
     let (mut retx, mut tx, mut drops) = (0u64, 0u64, 0u64);
     let mut all_completed = true;
-    for rep in 0..cfg.reps {
-        let out = run_fat_tree(scheme, workload, load, cfg, regime, 1000 + rep as u64);
+    for out in outputs {
         all_completed &= out.all_completed;
         let binned = bin_values(
             &edges,
@@ -367,18 +415,69 @@ pub fn scheme_fcts(
     }
 }
 
+/// Run `scheme` for `reps` seeds (serially) and aggregate.
+pub fn scheme_fcts(
+    scheme: Scheme,
+    workload: Workload,
+    load: f64,
+    cfg: &FatTreeConfig,
+    regime: BufferRegime,
+) -> SchemeFcts {
+    let outputs: Vec<RunOutput> = (0..cfg.reps)
+        .map(|rep| run_fat_tree(scheme, workload, load, cfg, regime, rep_seed(rep)))
+        .collect();
+    aggregate_outputs(scheme, workload, cfg, &outputs)
+}
+
 /// Figs. 14–16: the DCQCN / HPCC / RoCC FCT comparison on one workload at
 /// one load level (the avg, p90 and p99 views come from the same runs).
+///
+/// Fans the `scheme × repetition` grid out across threads by default;
+/// every cell is an independent simulation and results aggregate in grid
+/// order, so the output is bit-identical to [`ExecMode::Serial`]
+/// (pinned by `tests/determinism.rs`).
 pub fn fct_comparison(
     workload: Workload,
     load: f64,
     scale: Scale,
     regime: BufferRegime,
 ) -> Vec<SchemeFcts> {
-    let cfg = FatTreeConfig::for_scale(scale);
-    Scheme::large_scale_set()
-        .into_iter()
-        .map(|s| scheme_fcts(s, workload, load, &cfg, regime))
+    fct_comparison_with(workload, load, scale, regime, ExecMode::Parallel)
+}
+
+/// [`fct_comparison`] with an explicit execution mode.
+pub fn fct_comparison_with(
+    workload: Workload,
+    load: f64,
+    scale: Scale,
+    regime: BufferRegime,
+    mode: ExecMode,
+) -> Vec<SchemeFcts> {
+    fct_grid(workload, load, &FatTreeConfig::for_scale(scale), regime, mode)
+}
+
+/// The full `scheme × repetition` grid at an explicit config — the
+/// common core of the scale-based entry points and the determinism
+/// suite (which wants a miniature config).
+pub fn fct_grid(
+    workload: Workload,
+    load: f64,
+    cfg: &FatTreeConfig,
+    regime: BufferRegime,
+    mode: ExecMode,
+) -> Vec<SchemeFcts> {
+    let schemes = Scheme::large_scale_set();
+    // Scheme-major grid of independent cells; cell (si, rep) is one run.
+    let cells: Vec<(usize, usize)> = (0..schemes.len())
+        .flat_map(|si| (0..cfg.reps).map(move |rep| (si, rep)))
+        .collect();
+    let outputs = parallel::map_cells(mode, cells, |(si, rep)| {
+        run_fat_tree(schemes[si], workload, load, cfg, regime, rep_seed(rep))
+    });
+    schemes
+        .iter()
+        .zip(outputs.chunks(cfg.reps))
+        .map(|(&scheme, outs)| aggregate_outputs(scheme, workload, cfg, outs))
         .collect()
 }
 

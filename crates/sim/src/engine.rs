@@ -3,16 +3,23 @@
 //! A single binary-heap event queue drives the whole network. Events at the
 //! same instant are ordered by insertion sequence number, making every run
 //! bit-for-bit deterministic for a given seed.
+//!
+//! Packets in flight live in the kernel's [`PacketSlab`]; the dominant
+//! `Arrive` event carries a 4-byte [`PacketRef`] instead of the ~560-byte
+//! `Packet` itself, so every heap sift moves a small fixed-size key (see
+//! DESIGN.md §3e).
 
 use crate::cc::{FeedbackEvent, HostCcFactory, SwitchCcFactory};
 use crate::config::SimConfig;
+use crate::fastmap::FxHashMap;
 use crate::fault::{FaultDecision, FaultEvent, FaultState, FaultTarget};
 use crate::host::Host;
-use crate::packet::{FlowId, Packet, PacketKind};
+use crate::packet::{FlowId, PacketKind};
 use crate::sanitizer::{
     scan_pause_graph, AuditView, PauseReport, RunVerdict, SanLedger, Sanitizer, SimError,
     DEFAULT_AUDIT_PERIOD,
 };
+use crate::slab::{PacketRef, PacketSlab};
 use crate::switch::Switch;
 use crate::telemetry::{DropCause, EventMask, SimEvent, SimProfile};
 use crate::time::{SimDuration, SimTime};
@@ -22,22 +29,18 @@ use crate::units::BitRate;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// Everything that can happen.
-///
-/// `Arrive` dominates the size, but events live in the heap by value on
-/// the hottest path, so boxing the packet would trade a lint for an
-/// allocation per hop.
-#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum Event {
-    /// A packet reaches the receiving end of `link`.
+    /// A packet reaches the receiving end of `link`. The packet lives in
+    /// the kernel's slab; the event carries only its ref.
     Arrive {
         /// The traversed link.
         link: LinkId,
-        /// The packet.
-        pkt: Packet,
+        /// Slab ref of the packet in flight.
+        pr: PacketRef,
     },
     /// A switch egress port finished serializing a packet.
     SwitchTxDone {
@@ -138,6 +141,9 @@ pub struct Kernel {
     /// Byte-conservation ledger for the invariant sanitizer. A single
     /// predictable branch per hook while disabled (the default).
     pub san: SanLedger,
+    /// Arena of packets on the wire or parked in switch queues; `Arrive`
+    /// events and switch queues hold [`PacketRef`]s into it.
+    pub packets: PacketSlab,
     heap: BinaryHeap<Reverse<Scheduled>>,
     seq: u64,
     peak_heap: usize,
@@ -153,6 +159,7 @@ impl Kernel {
             rng,
             faults,
             san: SanLedger::default(),
+            packets: PacketSlab::new(),
             heap: BinaryHeap::new(),
             seq: 0,
             peak_heap: 0,
@@ -162,8 +169,11 @@ impl Kernel {
     /// Schedule `ev` at absolute time `at` (clamped to be ≥ now).
     pub fn schedule(&mut self, at: SimTime, ev: Event) {
         let at = at.max(self.now);
-        if let Event::Arrive { pkt, .. } = &ev {
-            self.san.heap_add(pkt.wire_bytes());
+        if self.san.on() {
+            if let Event::Arrive { pr, .. } = &ev {
+                let wire = self.packets.get(*pr).wire_bytes();
+                self.san.heap_add(wire);
+            }
         }
         self.seq += 1;
         self.heap.push(Reverse(Scheduled {
@@ -178,9 +188,12 @@ impl Kernel {
 
     fn pop(&mut self) -> Option<Scheduled> {
         let s = self.heap.pop().map(|r| r.0);
-        if let Some(s) = &s {
-            if let Event::Arrive { pkt, .. } = &s.ev {
-                self.san.heap_sub(pkt.wire_bytes());
+        if self.san.on() {
+            if let Some(s) = &s {
+                if let Event::Arrive { pr, .. } = &s.ev {
+                    let wire = self.packets.get(*pr).wire_bytes();
+                    self.san.heap_sub(wire);
+                }
             }
         }
         s
@@ -189,8 +202,11 @@ impl Kernel {
     /// Put a popped-but-undispatched event back without consuming a new
     /// sequence number (its original ordering is preserved).
     fn requeue(&mut self, s: Scheduled) {
-        if let Event::Arrive { pkt, .. } = &s.ev {
-            self.san.heap_add(pkt.wire_bytes());
+        if self.san.on() {
+            if let Event::Arrive { pr, .. } = &s.ev {
+                let wire = self.packets.get(*pr).wire_bytes();
+                self.san.heap_add(wire);
+            }
         }
         self.heap.push(Reverse(s));
     }
@@ -255,7 +271,10 @@ pub struct Sim {
     /// Collected instrumentation.
     pub trace: Trace,
     flows: Vec<FlowSpec>,
-    flow_dir: HashMap<FlowId, FlowMeta>,
+    flow_dir: FxHashMap<FlowId, FlowMeta>,
+    /// Registered finite flows (size < `u64::MAX`), maintained by
+    /// `add_flow` so completion detection never rescans the flow list.
+    finite_flows: u64,
     host_cc: Box<dyn HostCcFactory>,
     events_processed: u64,
     wall: std::time::Duration,
@@ -302,7 +321,8 @@ impl Sim {
             nodes,
             trace: Trace::new(),
             flows: Vec::new(),
-            flow_dir: HashMap::new(),
+            flow_dir: FxHashMap::default(),
+            finite_flows: 0,
             host_cc,
             events_processed: 0,
             wall: std::time::Duration::ZERO,
@@ -376,6 +396,9 @@ impl Sim {
         );
         let idx = self.flows.len();
         self.flows.push(spec);
+        if spec.size != u64::MAX {
+            self.finite_flows += 1;
+        }
         self.kernel.schedule(spec.start, Event::FlowStart { idx });
     }
 
@@ -444,11 +467,7 @@ impl Sim {
     }
 
     fn run_until_flows_done_inner(&mut self, max_t: SimTime) -> RunVerdict {
-        let finite = self
-            .flows
-            .iter()
-            .filter(|f| f.size != u64::MAX)
-            .count() as u64;
+        let finite = self.finite_flows;
         if let Some(p) = self.trace.sample_period {
             if self.kernel.now == SimTime::ZERO {
                 self.kernel.schedule(SimTime::ZERO + p, Event::Sample);
@@ -547,6 +566,7 @@ impl Sim {
             hosts,
             switches,
             ledger: &kernel.san,
+            packets: &kernel.packets,
         };
         sanitizer.audit(&view, trace)
     }
@@ -570,6 +590,7 @@ impl Sim {
             hosts,
             switches,
             ledger: &self.kernel.san,
+            packets: &self.kernel.packets,
         };
         scan_pause_graph(&view)
     }
@@ -601,7 +622,7 @@ impl Sim {
 
     fn dispatch(&mut self, ev: Event) {
         match ev {
-            Event::Arrive { link, mut pkt } => {
+            Event::Arrive { link, pr } => {
                 let (to_node, to_port) = self.topo.link(link).to;
                 if self.kernel.faults.is_active() {
                     // Packets in flight on a downed link die at the delivery
@@ -609,6 +630,7 @@ impl Sim {
                     // by the flap and packets transmitted onto a dead link).
                     if self.kernel.faults.link_is_down(link) {
                         self.trace.faults.link_down_drops += 1;
+                        let pkt = self.kernel.packets.take(pr);
                         self.kernel.san.destroy(pkt.wire_bytes());
                         self.publish_drop(to_node, pkt.flow, DropCause::LinkDown);
                         return;
@@ -617,11 +639,13 @@ impl Sim {
                         && matches!(self.nodes[to_node.0], NodeSlot::Host(_))
                     {
                         self.trace.faults.host_down_drops += 1;
+                        let pkt = self.kernel.packets.take(pr);
                         self.kernel.san.destroy(pkt.wire_bytes());
                         self.publish_drop(to_node, pkt.flow, DropCause::HostDown);
                         return;
                     }
-                    match self.kernel.faults.decide(self.kernel.now, link, &pkt.kind) {
+                    let kind = self.kernel.packets.get(pr).kind;
+                    match self.kernel.faults.decide(self.kernel.now, link, &kind) {
                         FaultDecision::Deliver => {}
                         FaultDecision::Lose(target) => {
                             // A CNP-class loss hitting an echo-bearing ACK
@@ -629,19 +653,23 @@ impl Sim {
                             // travel separately from the ACK stream, so the
                             // ACK itself survives with its echo stripped.
                             if target == FaultTarget::Cnp {
-                                if let PacketKind::Ack { ecn_echo, .. } = &mut pkt.kind {
+                                if let PacketKind::Ack { ecn_echo, .. } =
+                                    &mut self.kernel.packets.get_mut(pr).kind
+                                {
                                     if *ecn_echo {
                                         *ecn_echo = false;
                                         self.trace.faults.ctrl_lost += 1;
                                     }
                                 }
-                                if !matches!(pkt.kind, PacketKind::Ack { .. }) {
+                                if !matches!(kind, PacketKind::Ack { .. }) {
                                     self.trace.faults.ctrl_lost += 1;
+                                    let pkt = self.kernel.packets.take(pr);
                                     self.kernel.san.destroy(pkt.wire_bytes());
                                     self.publish_drop(to_node, pkt.flow, DropCause::FaultLoss);
                                     return;
                                 }
                             } else {
+                                let pkt = self.kernel.packets.take(pr);
                                 if pkt.is_data() {
                                     self.trace.faults.data_lost += 1;
                                 } else {
@@ -653,6 +681,7 @@ impl Sim {
                             }
                         }
                         FaultDecision::Corrupt => {
+                            let pkt = self.kernel.packets.take(pr);
                             if pkt.is_data() {
                                 self.trace.faults.data_corrupted += 1;
                             } else {
@@ -678,9 +707,11 @@ impl Sim {
                             // arrives alongside the original. The clone is
                             // fresh wire bytes from the ledger's view.
                             self.trace.faults.duplicated += 1;
-                            self.kernel.san.inject(pkt.wire_bytes());
+                            let copy = *self.kernel.packets.get(pr);
+                            self.kernel.san.inject(copy.wire_bytes());
+                            let dup = self.kernel.packets.alloc(copy);
                             let now = self.kernel.now;
-                            self.kernel.schedule(now, Event::Arrive { link, pkt });
+                            self.kernel.schedule(now, Event::Arrive { link, pr: dup });
                             // The original falls through to normal delivery.
                         }
                         FaultDecision::Reorder(delay) => {
@@ -690,17 +721,19 @@ impl Sim {
                             // so conservation holds throughout.
                             self.trace.faults.reordered += 1;
                             let at = self.kernel.now + delay;
-                            self.kernel.schedule(at, Event::Arrive { link, pkt });
+                            self.kernel.schedule(at, Event::Arrive { link, pr });
                             return;
                         }
                     }
                 }
                 match &mut self.nodes[to_node.0] {
                     NodeSlot::Switch(sw) => {
-                        sw.handle_arrive(&mut self.kernel, &self.topo, &mut self.trace, to_port, pkt)
+                        sw.handle_arrive(&mut self.kernel, &self.topo, &mut self.trace, to_port, pr)
                     }
                     NodeSlot::Host(h) => {
-                        // Host delivery is the packet's exit from the network.
+                        // Host delivery is the packet's exit from the network
+                        // and from the slab.
+                        let pkt = self.kernel.packets.take(pr);
                         self.kernel.san.consume(pkt.wire_bytes());
                         h.handle_arrive(
                             &mut self.kernel,

@@ -7,6 +7,7 @@
 
 use crate::cc::{AckEvent, FeedbackEvent, HostCc, HostCcCtx, RateDecision};
 use crate::engine::{Event, FlowMeta, Kernel};
+use crate::fastmap::FxHashMap;
 use crate::packet::{FlowId, IntStack, Packet, PacketKind};
 use crate::telemetry::{CcEvent, EventMask, SimEvent};
 use crate::time::{SimDuration, SimTime};
@@ -15,7 +16,7 @@ use crate::trace::{FctRecord, Trace};
 use crate::units::BitRate;
 use rand::Rng;
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 /// Timer token reserved for the transport's retransmission timeout; CC
 /// implementations may use tokens `0..=2`.
@@ -139,7 +140,10 @@ pub struct Host {
     ready: VecDeque<FlowId>,
     /// Flows paced into the future, keyed by eligibility time.
     waiting: BinaryHeap<Reverse<(SimTime, FlowId)>>,
-    recv: HashMap<FlowId, ReceiverFlow>,
+    /// Receiver state, looked up per arriving packet. Fx-hashed: its
+    /// iteration order never escapes (audits go through the sorted
+    /// [`Host::audit_receivers`]).
+    recv: FxHashMap<FlowId, ReceiverFlow>,
     /// Earliest pending wake event (dedup so we do not flood the queue).
     wake_at: Option<SimTime>,
 }
@@ -161,7 +165,7 @@ impl Host {
             flows: BTreeMap::new(),
             ready: VecDeque::new(),
             waiting: BinaryHeap::new(),
-            recv: HashMap::new(),
+            recv: FxHashMap::default(),
             wake_at: None,
         }
     }
@@ -502,18 +506,20 @@ impl Host {
         k.schedule(k.now + ser, Event::HostTxDone { node: self.id });
     }
 
-    /// Serialization finished: hand the packet to the uplink.
+    /// Serialization finished: hand the packet to the uplink (it enters the
+    /// wire-packet slab here).
     pub fn handle_tx_done(&mut self, k: &mut Kernel, topo: &Topology, trace: &mut Trace) {
         let pkt = self
             .in_flight
             .take()
             .expect("HostTxDone without in-flight packet");
         self.busy = false;
+        let pr = k.packets.alloc(pkt);
         k.schedule(
             k.now + self.prop_delay,
             Event::Arrive {
                 link: self.uplink,
-                pkt,
+                pr,
             },
         );
         self.try_send(k, topo, trace);
@@ -531,7 +537,7 @@ impl Host {
         k: &mut Kernel,
         topo: &Topology,
         trace: &mut Trace,
-        flow_dir: &HashMap<FlowId, FlowMeta>,
+        flow_dir: &FxHashMap<FlowId, FlowMeta>,
         pkt: Packet,
     ) {
         match pkt.kind {
@@ -799,7 +805,7 @@ impl Host {
         k: &mut Kernel,
         topo: &Topology,
         trace: &mut Trace,
-        flow_dir: &HashMap<FlowId, FlowMeta>,
+        flow_dir: &FxHashMap<FlowId, FlowMeta>,
         pkt: &Packet,
         seq: u64,
         payload: u64,

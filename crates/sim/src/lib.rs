@@ -65,10 +65,12 @@
 pub mod cc;
 pub mod config;
 pub mod engine;
+pub mod fastmap;
 pub mod fault;
 pub mod host;
 pub mod packet;
 pub mod sanitizer;
+pub mod slab;
 pub mod switch;
 pub mod telemetry;
 pub mod time;
@@ -85,6 +87,7 @@ pub mod prelude {
     };
     pub use crate::config::{BufferMode, ConfigError, PfcConfig, SimConfig};
     pub use crate::engine::{Event, FlowMeta, FlowSpec, Kernel, Sim};
+    pub use crate::fastmap::{FxHashMap, FxHashSet, FxHasher};
     pub use crate::fault::{
         FaultDecision, FaultEvent, FaultPlan, FaultState, FaultTarget, HostFault, HostFaultKind,
         LinkFault, LinkFlap,
@@ -93,6 +96,7 @@ pub mod prelude {
     pub use crate::sanitizer::{
         PauseCycleNode, PauseReport, RunVerdict, Sanitizer, SanitizerReport, SimError,
     };
+    pub use crate::slab::{PacketRef, PacketSlab};
     pub use crate::telemetry::{
         CcEvent, CounterLabels, CpDecisionKind, DropCause, EventMask, EventSubscriber, Histogram,
         RpTransitionKind, SimEvent, SimProfile, Telemetry, VerdictKind,

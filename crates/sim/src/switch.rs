@@ -17,6 +17,7 @@ use crate::cc::{CtrlEmit, PacketMeta, SwitchCc, SwitchCcCtx};
 use crate::config::BufferMode;
 use crate::engine::{Event, Kernel};
 use crate::packet::{CpId, FlowId, Packet, PacketKind, PFC_FRAME_BYTES};
+use crate::slab::{PacketRef, PacketSlab};
 use crate::telemetry::{CcEvent, DropCause, EventMask, SimEvent};
 use crate::time::SimTime;
 use crate::topology::{LinkId, NodeId, NodeRole, PortId, Topology};
@@ -25,10 +26,12 @@ use crate::units::BitRate;
 use std::collections::VecDeque;
 
 /// A packet waiting in (or leaving) an egress queue, remembering which
-/// ingress port it arrived on (None for switch-generated feedback).
-#[derive(Debug, Clone)]
+/// ingress port it arrived on (None for switch-generated feedback). The
+/// packet itself stays in the kernel's slab: forwarding moves an 8-byte
+/// entry between queues instead of cloning the packet per hop.
+#[derive(Debug, Clone, Copy)]
 struct QueuedPacket {
-    pkt: Packet,
+    pr: PacketRef,
     ingress: Option<PortId>,
 }
 
@@ -153,16 +156,23 @@ impl Switch {
 
     /// Total wire bytes resident in this switch: every control queue, data
     /// queue, and in-serialization frame across all ports. Conservation
-    /// audits count these as in-network.
-    pub fn buffered_wire_bytes(&self) -> u64 {
+    /// audits count these as in-network. Queues hold slab refs, so audits
+    /// resolve them through `packets`.
+    pub fn buffered_wire_bytes(&self, packets: &PacketSlab) -> u64 {
         self.ports
             .iter()
             .map(|p| {
-                p.ctrl_q.iter().map(|q| q.pkt.wire_bytes()).sum::<u64>()
-                    + p.data_q.iter().map(|q| q.pkt.wire_bytes()).sum::<u64>()
+                p.ctrl_q
+                    .iter()
+                    .map(|q| packets.get(q.pr).wire_bytes())
+                    .sum::<u64>()
+                    + p.data_q
+                        .iter()
+                        .map(|q| packets.get(q.pr).wire_bytes())
+                        .sum::<u64>()
                     + p.in_flight
                         .as_ref()
-                        .map(|q| q.pkt.wire_bytes())
+                        .map(|q| packets.get(q.pr).wire_bytes())
                         .unwrap_or(0)
             })
             .sum()
@@ -171,11 +181,11 @@ impl Switch {
     /// Recomputed wire bytes in the data FIFO of egress `p` (the sanitizer
     /// cross-checks this against the incrementally maintained
     /// [`Port::qlen_bytes`]).
-    pub fn data_q_wire_bytes(&self, p: PortId) -> u64 {
+    pub fn data_q_wire_bytes(&self, p: PortId, packets: &PacketSlab) -> u64 {
         self.ports[p.0]
             .data_q
             .iter()
-            .map(|q| q.pkt.wire_bytes())
+            .map(|q| packets.get(q.pr).wire_bytes())
             .sum()
     }
 
@@ -194,22 +204,25 @@ impl Switch {
     /// Wire bytes queued in egress `egress`'s data FIFO that arrived via
     /// `ingress` — the per-(ingress, egress) slice of PFC accounting the
     /// pause wait-for graph edges are built from.
-    pub fn ingress_bytes_at(&self, egress: PortId, ingress: PortId) -> u64 {
+    pub fn ingress_bytes_at(&self, egress: PortId, ingress: PortId, packets: &PacketSlab) -> u64 {
         self.ports[egress.0]
             .data_q
             .iter()
             .filter(|q| q.ingress == Some(ingress))
-            .map(|q| q.pkt.wire_bytes())
+            .map(|q| packets.get(q.pr).wire_bytes())
             .sum()
     }
 
     /// `(flow, destination)` of every data packet queued on egress `egress`,
     /// in FIFO order — used for victim-flow attribution in pause storms.
-    pub fn queued_flows(&self, egress: PortId) -> Vec<(FlowId, NodeId)> {
+    pub fn queued_flows(&self, egress: PortId, packets: &PacketSlab) -> Vec<(FlowId, NodeId)> {
         self.ports[egress.0]
             .data_q
             .iter()
-            .map(|q| (q.pkt.flow, q.pkt.dst))
+            .map(|q| {
+                let pkt = packets.get(q.pr);
+                (pkt.flow, pkt.dst)
+            })
             .collect()
     }
 
@@ -273,42 +286,51 @@ impl Switch {
         }
     }
 
-    /// A packet arrived on `in_port`.
+    /// A packet arrived on `in_port` (by slab ref).
     pub fn handle_arrive(
         &mut self,
         k: &mut Kernel,
         topo: &Topology,
         trace: &mut Trace,
         in_port: PortId,
-        pkt: Packet,
+        pr: PacketRef,
     ) {
-        match pkt.kind {
+        let (kind, flow, dst) = {
+            let pkt = k.packets.get(pr);
+            (pkt.kind, pkt.flow, pkt.dst)
+        };
+        match kind {
             PacketKind::PfcPause => {
+                // PFC frames are consumed by the adjacent port: off the wire,
+                // out of the slab.
+                let pkt = k.packets.take(pr);
                 k.san.consume(pkt.wire_bytes());
                 self.ports[in_port.0].paused = true;
             }
             PacketKind::PfcResume => {
+                let pkt = k.packets.take(pr);
                 k.san.consume(pkt.wire_bytes());
                 self.ports[in_port.0].paused = false;
                 self.try_start_tx(k, topo, trace, in_port);
             }
             _ => {
-                let Some(egress) = topo.route(self.id, pkt.dst, pkt.flow) else {
+                let Some(egress) = topo.route(self.id, dst, flow) else {
                     // Unroutable packets are dropped and counted apart from
                     // congestion drops: any nonzero count flags a topology
                     // or routing bug, not load.
                     trace.unroutable_drops += 1;
+                    let pkt = k.packets.take(pr);
                     k.san.destroy(pkt.wire_bytes());
-                    self.publish_drop(k, trace, pkt.flow, DropCause::Unroutable);
+                    self.publish_drop(k, trace, flow, DropCause::Unroutable);
                     return;
                 };
-                self.enqueue(k, topo, trace, egress, Some(in_port), pkt);
+                self.enqueue(k, topo, trace, egress, Some(in_port), pr);
             }
         }
     }
 
-    /// Append `pkt` to the egress queue on `egress`, running CC hooks, PFC
-    /// accounting, and (in lossy mode) tail-drop.
+    /// Append the packet at `pr` to the egress queue on `egress`, running
+    /// CC hooks, PFC accounting, and (in lossy mode) tail-drop.
     fn enqueue(
         &mut self,
         k: &mut Kernel,
@@ -316,22 +338,26 @@ impl Switch {
         trace: &mut Trace,
         egress: PortId,
         ingress: Option<PortId>,
-        mut pkt: Packet,
+        pr: PacketRef,
     ) {
+        let (wire, is_ctrl, flow, src) = {
+            let pkt = k.packets.get(pr);
+            (pkt.wire_bytes(), pkt.kind.is_control(), pkt.flow, pkt.src)
+        };
+
         // An egress interface whose link is administratively down drops at
         // enqueue (all classes): nothing accumulates behind a dead port, and
         // PFC never backpressures traffic that could not be delivered anyway.
         if k.faults.is_active() && k.faults.link_is_down(self.ports[egress.0].link) {
             trace.faults.link_down_drops += 1;
-            k.san.destroy(pkt.wire_bytes());
-            self.publish_drop(k, trace, pkt.flow, DropCause::LinkDown);
+            k.packets.free(pr);
+            k.san.destroy(wire);
+            self.publish_drop(k, trace, flow, DropCause::LinkDown);
             return;
         }
 
-        let wire = pkt.wire_bytes();
-        let is_ctrl = pkt.kind.is_control();
         if is_ctrl && k.config.prioritize_control {
-            self.ports[egress.0].ctrl_q.push_back(QueuedPacket { pkt, ingress });
+            self.ports[egress.0].ctrl_q.push_back(QueuedPacket { pr, ingress });
             self.try_start_tx(k, topo, trace, egress);
             return;
         }
@@ -341,8 +367,9 @@ impl Switch {
         if let BufferMode::LossyTailDrop { limit_bytes } = k.config.buffer_mode {
             if self.ports[egress.0].qlen_bytes + wire > limit_bytes {
                 trace.drops += 1;
+                k.packets.free(pr);
                 k.san.destroy(wire);
-                self.publish_drop(k, trace, pkt.flow, DropCause::Congestion);
+                self.publish_drop(k, trace, flow, DropCause::Congestion);
                 return;
             }
         }
@@ -353,8 +380,8 @@ impl Switch {
         if !is_ctrl {
             // CC enqueue hook (ECN marking, flow-table update, QCN sampling).
             let meta = PacketMeta {
-                flow: pkt.flow,
-                src: pkt.src,
+                flow,
+                src,
                 wire_bytes: wire,
             };
             let mut ctx = self.cc_ctx(k, egress, trace.telemetry.cc_mask());
@@ -362,7 +389,7 @@ impl Switch {
             let emits = std::mem::take(&mut ctx.emits);
             let events = std::mem::take(&mut ctx.events);
             if mark {
-                pkt.ecn = true;
+                k.packets.get_mut(pr).ecn = true;
             }
             self.publish_cc_events(k, trace, egress, events);
             self.inject_feedback(k, topo, trace, emits);
@@ -380,7 +407,7 @@ impl Switch {
             }
         }
 
-        self.ports[egress.0].data_q.push_back(QueuedPacket { pkt, ingress });
+        self.ports[egress.0].data_q.push_back(QueuedPacket { pr, ingress });
         self.try_start_tx(k, topo, trace, egress);
     }
 
@@ -399,7 +426,8 @@ impl Switch {
             sent_at: k.now,
         };
         k.san.inject(pkt.wire_bytes());
-        k.schedule(k.now + ser + link.delay, Event::Arrive { link: port.link, pkt });
+        let pr = k.packets.alloc(pkt);
+        k.schedule(k.now + ser + link.delay, Event::Arrive { link: port.link, pr });
     }
 
     /// Route switch-generated feedback packets (RoCC CNPs, QCN Fb) toward
@@ -452,9 +480,10 @@ impl Switch {
                     fair_rate_units: units,
                 });
             }
+            let pr = k.packets.alloc(pkt);
             self.ports[egress.0]
                 .ctrl_q
-                .push_back(QueuedPacket { pkt, ingress: None });
+                .push_back(QueuedPacket { pr, ingress: None });
             self.try_start_tx(k, topo, trace, egress);
         }
     }
@@ -468,14 +497,17 @@ impl Switch {
         let qp = if let Some(qp) = self.ports[p.0].ctrl_q.pop_front() {
             Some(qp)
         } else if !self.ports[p.0].paused {
-            self.ports[p.0].data_q.pop_front().map(|mut qp| {
-                let wire = qp.pkt.wire_bytes();
+            self.ports[p.0].data_q.pop_front().inspect(|qp| {
+                let (wire, is_data, flow, src) = {
+                    let pkt = k.packets.get(qp.pr);
+                    (pkt.wire_bytes(), pkt.is_data(), pkt.flow, pkt.src)
+                };
                 self.ports[p.0].qlen_bytes -= wire;
-                if qp.pkt.is_data() {
+                if is_data {
                     // CC dequeue hook (INT stamping) sees post-dequeue depth.
                     let meta = PacketMeta {
-                        flow: qp.pkt.flow,
-                        src: qp.pkt.src,
+                        flow,
+                        src,
                         wire_bytes: wire,
                     };
                     let mut ctx = self.cc_ctx(k, p, trace.telemetry.cc_mask());
@@ -486,9 +518,11 @@ impl Switch {
                         // INT stamping grows the frame in flight; the added
                         // telemetry bytes enter the wire here, so the
                         // conservation ledger books them as injected.
-                        let before = qp.pkt.wire_bytes();
-                        qp.pkt.int.push(h);
-                        k.san.inject(qp.pkt.wire_bytes() - before);
+                        let pkt = k.packets.get_mut(qp.pr);
+                        let before = pkt.wire_bytes();
+                        pkt.int.push(h);
+                        let after = pkt.wire_bytes();
+                        k.san.inject(after - before);
                     }
                     self.publish_cc_events(k, trace, p, events);
                     self.inject_feedback(k, topo, trace, emits);
@@ -507,13 +541,14 @@ impl Switch {
                         }
                     }
                 }
-                qp
             })
         } else {
             None
         };
         let Some(qp) = qp else { return };
-        let ser = self.ports[p.0].rate.serialization_time(qp.pkt.wire_bytes());
+        let ser = self.ports[p.0]
+            .rate
+            .serialization_time(k.packets.get(qp.pr).wire_bytes());
         self.ports[p.0].busy = true;
         self.ports[p.0].in_flight = Some(qp);
         k.schedule(
@@ -537,12 +572,12 @@ impl Switch {
             .in_flight
             .take()
             .expect("TxDone without in-flight packet");
-        let wire = qp.pkt.wire_bytes();
+        let wire = k.packets.get(qp.pr).wire_bytes();
         self.ports[p.0].tx_bytes += wire;
         self.ports[p.0].busy = false;
         let link = self.ports[p.0].link;
         let delay = topo.link(link).delay;
-        k.schedule(k.now + delay, Event::Arrive { link, pkt: qp.pkt });
+        k.schedule(k.now + delay, Event::Arrive { link, pr: qp.pr });
         self.try_start_tx(k, topo, trace, p);
     }
 

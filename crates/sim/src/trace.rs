@@ -7,10 +7,10 @@
 //! periodic snapshots.
 
 use crate::packet::FlowId;
+use crate::fastmap::FxHashMap;
 use crate::telemetry::{EventMask, SimEvent, Telemetry};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeId, PortId};
-use std::collections::HashMap;
 
 /// One point of a sampled time series.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -104,7 +104,7 @@ pub struct Trace {
     /// Index into `watched_queues`/`queue_peak` by (node, port), so the
     /// per-enqueue peak update is O(1) instead of a scan over every
     /// watched queue.
-    queue_index: HashMap<(NodeId, PortId), usize>,
+    queue_index: FxHashMap<(NodeId, PortId), usize>,
     /// Sampled queue series, parallel to `watched_queues`.
     pub queue_series: Vec<Vec<Sample>>,
     /// Flows whose goodput (receiver-side delivery rate) is sampled.
@@ -112,7 +112,7 @@ pub struct Trace {
     /// Sampled goodput series (bits/s), parallel to `watched_flows`.
     pub flow_rate_series: Vec<Vec<Sample>>,
     /// Receiver-side cumulative delivered bytes per watched flow.
-    delivered: HashMap<FlowId, u64>,
+    delivered: FxHashMap<FlowId, u64>,
     delivered_at_last_sample: Vec<u64>,
     /// Ports whose egress throughput is sampled.
     watched_ports: Vec<(NodeId, PortId)>,
@@ -147,7 +147,7 @@ pub struct Trace {
     /// Sum of per-sample queue depths for all switch egress ports keyed by
     /// (node, port) — exact time-weighted accounting is done by the caller
     /// via sampling; this map holds cumulative (sum, count) per port.
-    pub queue_avg_acc: HashMap<(NodeId, PortId), (f64, u64)>,
+    pub queue_avg_acc: FxHashMap<(NodeId, PortId), (f64, u64)>,
     /// Ports whose average queue should be accumulated at every sample tick.
     watched_avg_ports: Vec<(NodeId, PortId)>,
     /// Stop accumulating queue averages after this instant (e.g. the end

@@ -1,0 +1,200 @@
+//! Offline stand-in for [rayon](https://crates.io/crates/rayon),
+//! implementing exactly the API surface this workspace uses:
+//! `vec.into_par_iter().map(f).collect::<Vec<_>>()`.
+//!
+//! Semantics match rayon where it matters for determinism: results are
+//! collected **by input index**, so the output order is identical to the
+//! sequential `iter().map(f).collect()` regardless of which worker ran
+//! which item or in what order items finished. Workers pull items from a
+//! shared atomic cursor (no work stealing, which is irrelevant for the
+//! coarse-grained `(scheme, seed)` cells this workspace fans out).
+//!
+//! Thread count: `RAYON_NUM_THREADS` if set, else
+//! [`std::thread::available_parallelism`]. With one thread (or one item)
+//! everything runs inline on the caller's thread — zero overhead and
+//! trivially identical to the serial path.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The traits, as rayon exports them.
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelIterator, ParallelIterator};
+}
+
+/// Number of worker threads to use.
+fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `f` over `items` on up to [`num_threads`] scoped threads, returning
+/// results **in input order**.
+fn execute<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = num_threads().min(items.len().max(1));
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i]
+                    .lock()
+                    .expect("poisoned work slot")
+                    .take()
+                    .expect("work item taken twice");
+                let out = f(item);
+                *slots[i].lock().expect("poisoned result slot") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("poisoned result slot")
+                .expect("worker panicked before writing its slot")
+        })
+        .collect()
+}
+
+/// A value convertible into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// The iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = IntoParIter<T>;
+    fn into_par_iter(self) -> IntoParIter<T> {
+        IntoParIter { items: self }
+    }
+}
+
+/// Parallel iterator over an owned `Vec`.
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+/// A lazily composed `map` stage.
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+/// The (tiny) parallel-iterator interface.
+pub trait ParallelIterator: Sized {
+    /// Element type.
+    type Item: Send;
+
+    /// Run the pipeline with continuation `g`, returning index-ordered
+    /// results. (Internal driver; `map`/`collect` build on it.)
+    fn drive<R: Send, G: Fn(Self::Item) -> R + Sync>(self, g: G) -> Vec<R>;
+
+    /// Transform each element with `f` (lazy; fused into the final run).
+    fn map<R: Send, F: Fn(Self::Item) -> R + Sync>(self, f: F) -> Map<Self, F> {
+        Map { base: self, f }
+    }
+
+    /// Execute and collect into `C`, preserving input order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_vec(self.drive(|x| x))
+    }
+}
+
+impl<T: Send> ParallelIterator for IntoParIter<T> {
+    type Item = T;
+    fn drive<R: Send, G: Fn(T) -> R + Sync>(self, g: G) -> Vec<R> {
+        execute(self.items, g)
+    }
+}
+
+impl<I, F, R> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+    fn drive<R2: Send, G: Fn(R) -> R2 + Sync>(self, g: G) -> Vec<R2> {
+        let f = self.f;
+        self.base.drive(move |x| g(f(x)))
+    }
+}
+
+/// Collection from an index-ordered parallel run.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Build the collection from results already in input order.
+    fn from_par_vec(v: Vec<T>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_vec(v: Vec<T>) -> Self {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_input_order() {
+        let v: Vec<u64> = (0..100).collect();
+        let out: Vec<u64> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chained_maps_fuse() {
+        let out: Vec<String> = (0..10)
+            .collect::<Vec<i32>>()
+            .into_par_iter()
+            .map(|x| x + 1)
+            .map(|x| format!("{x}"))
+            .collect();
+        assert_eq!(out[0], "1");
+        assert_eq!(out[9], "10");
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let out: Vec<i32> = Vec::<i32>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+        let out: Vec<i32> = vec![7].into_par_iter().map(|x| x * 3).collect();
+        assert_eq!(out, vec![21]);
+    }
+
+    #[test]
+    fn matches_serial_under_forced_thread_counts() {
+        // Deterministic regardless of RAYON_NUM_THREADS: same input order.
+        let v: Vec<u64> = (0..1000).collect();
+        let serial: Vec<u64> = v.iter().map(|x| x ^ 0xabcd).collect();
+        let par: Vec<u64> = v.into_par_iter().map(|x| x ^ 0xabcd).collect();
+        assert_eq!(serial, par);
+    }
+}
