@@ -11,8 +11,8 @@
 use rocc_experiments::fct::{
     fct_comparison, fold_increase, table3, BufferRegime, SchemeFcts, Workload,
 };
-use rocc_experiments::{analytic, micro, table1, Scale};
-use rocc_sim::prelude::Sample;
+use rocc_experiments::{analytic, micro, observatory, table1, Scale};
+use rocc_sim::prelude::{write_artifact, Sample};
 
 fn human_bytes(b: f64) -> String {
     if b >= 1e6 {
@@ -515,10 +515,6 @@ fn main() {
             } else {
                 vec![scenario]
             };
-            if let Err(e) = std::fs::create_dir_all(dir) {
-                eprintln!("cannot create {dir}: {e}");
-                std::process::exit(1);
-            }
             let mut bench = Vec::new();
             for name in names {
                 let Some(r) = rocc_experiments::trace::run(name, scale) else {
@@ -531,8 +527,12 @@ fn main() {
                 };
                 let timeline = format!("{dir}/trace_{name}.jsonl");
                 let summary = format!("{dir}/trace_{name}_summary.json");
-                std::fs::write(&timeline, r.timeline_jsonl()).expect("write timeline");
-                std::fs::write(&summary, &r.summary_json).expect("write summary");
+                if let Err(e) = write_artifact(&timeline, &r.timeline_jsonl())
+                    .and_then(|()| write_artifact(&summary, &r.summary_json))
+                {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
                 println!(
                     "{name}: {} events ({} drop, {} pfc, {} cnp, {} cp_decision, {} rp_transition, {} fault), {}/{} flows completed",
                     r.events.len(),
@@ -550,9 +550,92 @@ fn main() {
                 bench.push(format!("\"{name}\":{}", r.bench_json));
             }
             let bench_path = format!("{dir}/BENCH_sim.json");
-            std::fs::write(&bench_path, format!("{{{}}}", bench.join(",")))
-                .expect("write bench");
+            if let Err(e) = write_artifact(&bench_path, &format!("{{{}}}", bench.join(","))) {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
             println!("  wrote {bench_path}");
+        }
+        "observe" => {
+            let scenario = args.get(2).map(String::as_str).unwrap_or("incast");
+            let dir = args.get(3).map(String::as_str).unwrap_or("observatory_out");
+            let scale = args
+                .get(4)
+                .and_then(|s| Scale::parse(s))
+                .unwrap_or(Scale::Quick);
+            let seed = args
+                .get(5)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(observatory::GOLDEN_SEED);
+            let Some(run) = observatory::observe(scenario, scale, seed) else {
+                eprintln!("unknown observe scenario: {scenario}");
+                eprintln!("scenarios: {}", observatory::SCENARIOS.join(" "));
+                std::process::exit(2);
+            };
+            println!(
+                "{scenario}: seed {seed}, {}/{} flows completed, {} metric rows",
+                run.completed,
+                run.flows,
+                run.metrics_jsonl.lines().count(),
+            );
+            match run.write_artifacts(dir) {
+                Ok(paths) => {
+                    for p in paths {
+                        println!("  wrote {p}");
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "compare" => {
+            let (Some(a), Some(b)) = (args.get(2), args.get(3)) else {
+                eprintln!("usage: repro compare <runA dir|metrics.jsonl> <runB dir|metrics.jsonl>");
+                std::process::exit(2);
+            };
+            let (sa, sb) = match (observatory::load_summary(a), observatory::load_summary(b)) {
+                (Ok(sa), Ok(sb)) => (sa, sb),
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            };
+            let report = observatory::compare(&sa, &sb);
+            print!("{}", report.render());
+            println!("{}", report.to_json());
+            if !report.pass() {
+                std::process::exit(1);
+            }
+        }
+        "golden" => {
+            let mode = args.get(2).map(String::as_str).unwrap_or("check");
+            let path = args
+                .get(3)
+                .map(String::as_str)
+                .unwrap_or("golden/observatory.json");
+            match mode {
+                "write" => {
+                    let doc = observatory::golden_json(&observatory::golden_run());
+                    if let Err(e) = write_artifact(path, &doc) {
+                        eprintln!("{e}");
+                        std::process::exit(1);
+                    }
+                    println!("wrote {path}");
+                }
+                "check" => match observatory::golden_check(path) {
+                    Ok(msg) => println!("{msg}"),
+                    Err(msg) => {
+                        eprintln!("{msg}");
+                        std::process::exit(1);
+                    }
+                },
+                other => {
+                    eprintln!("unknown golden mode: {other} (expected check|write)");
+                    std::process::exit(2);
+                }
+            }
         }
         "dump" => {
             let dir = args.get(2).map(String::as_str).unwrap_or("repro_data");
@@ -583,10 +666,17 @@ fn main() {
             println!("usage: repro <experiment|all> [quick|paper]");
             println!("       repro dump <dir> [quick|paper]   (plot-ready CSVs)");
             println!("       repro trace <scenario|all> [dir] [quick|paper]   (telemetry timeline + BENCH_sim.json)");
+            println!("       repro observe <scenario> [dir] [quick|paper] [seed]   (metrics JSONL + Perfetto trace + manifest)");
+            println!("       repro compare <runA> <runB>   (cross-run fidelity gate)");
+            println!("       repro golden [check|write] [path]   (pinned-run digest gate)");
             println!("experiments: {}", all.join(" "));
             println!(
                 "trace scenarios: {}",
                 rocc_experiments::trace::SCENARIOS.join(" ")
+            );
+            println!(
+                "observe scenarios: {}",
+                observatory::SCENARIOS.join(" ")
             );
         }
         name => run_one(name),

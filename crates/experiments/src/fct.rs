@@ -352,10 +352,10 @@ pub fn aggregate_outputs(
             if let Some(s) = rocc_stats::summarize(b) {
                 per_rep_avg[i].push(s.mean);
             }
-            if let Some(p) = percentile(b, 0.90) {
+            if let Ok(p) = percentile(b, 0.90) {
                 per_rep_p90[i].push(p);
             }
-            if let Some(p) = percentile(b, 0.99) {
+            if let Ok(p) = percentile(b, 0.99) {
                 per_rep_p99[i].push(p);
             }
         }

@@ -40,6 +40,7 @@ pub mod chaos;
 pub mod csv;
 pub mod fct;
 pub mod micro;
+pub mod observatory;
 pub mod parallel;
 pub mod scenarios;
 pub mod schemes;

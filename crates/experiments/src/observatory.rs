@@ -1,0 +1,662 @@
+//! `repro observe` / `repro compare` / `repro golden`: the run observatory.
+//!
+//! [`observe`] runs one scenario with the sim-side observatory sampler on
+//! and produces three artifacts next to each other:
+//!
+//! 1. `metrics_<scenario>.jsonl` — the time-series rows
+//!    ([`rocc_sim::metrics::MetricRow`]): egress queue depth, CP fair rate
+//!    with auto-tune region, per-flow RP rate/goodput, cumulative PFC
+//!    pause time;
+//! 2. `perfetto_<scenario>.json` — a Chrome-trace export of the same run,
+//!    loadable in `ui.perfetto.dev` (flows as tracks, PFC pauses as
+//!    slices, CNP→RP causality as flow arrows);
+//! 3. `manifest_<scenario>.json` — the run manifest: scenario, scheme,
+//!    seed, scale, a config hash (seed excluded, so two seeds of the same
+//!    config share it), the git revision, content digests of the other
+//!    two artifacts, and the fidelity summary.
+//!
+//! [`compare`] diffs the fidelity summaries of two runs — Jain's fairness
+//! index, fair-rate convergence time, queue-depth p99, and queue-histogram
+//! total-variation distance — against typed thresholds: the cross-run
+//! fidelity gate CI runs on two seeds of the same config.
+//!
+//! [`golden_check`] re-runs the pinned golden config and compares its
+//! metrics digest against the committed baseline (`golden/observatory.json`),
+//! the same regenerate-on-intentional-change workflow as `BENCH_sim.json`.
+
+use crate::micro;
+use crate::scenarios;
+use crate::schemes::Scheme;
+use crate::Scale;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rocc_sim::prelude::*;
+use rocc_stats::{convergence_time, histogram_distance, jain_fairness, percentile};
+use std::collections::BTreeMap;
+
+/// Scenario names accepted by [`observe`].
+pub const SCENARIOS: [&str; 1] = ["incast"];
+
+/// The seed the committed golden baseline is pinned to.
+pub const GOLDEN_SEED: u64 = 7;
+
+/// Everything one observed run produced, ready to be written as artifacts.
+#[derive(Debug)]
+pub struct ObserveRun {
+    /// Scenario name (an entry of [`SCENARIOS`]).
+    pub scenario: &'static str,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Run scale.
+    pub scale: Scale,
+    /// Flows offered.
+    pub flows: usize,
+    /// Flows that completed within the horizon.
+    pub completed: usize,
+    /// The observatory time series as a JSONL document.
+    pub metrics_jsonl: String,
+    /// Chrome-trace export of the run (Perfetto-loadable).
+    pub perfetto_json: String,
+    /// `Debug` rendering of the config with the seed zeroed — the input
+    /// to the manifest's config hash.
+    pub config_debug: String,
+}
+
+impl ObserveRun {
+    /// The run manifest as one JSON document.
+    pub fn manifest_json(&self) -> String {
+        let fid = summarize_metrics(&self.metrics_jsonl);
+        format!(
+            concat!(
+                "{{\"schema\":\"rocc-run-manifest/v1\",",
+                "\"scenario\":\"{}\",\"scheme\":\"rocc\",\"seed\":{},\"scale\":\"{}\",",
+                "\"flows\":{},\"completed\":{},",
+                "\"config_hash\":\"{}\",\"git_rev\":\"{}\",",
+                "\"metrics_digest\":\"{}\",\"perfetto_digest\":\"{}\",",
+                "\"fidelity\":{}}}"
+            ),
+            self.scenario,
+            self.seed,
+            scale_name(self.scale),
+            self.flows,
+            self.completed,
+            digest(&self.config_debug),
+            git_rev(),
+            digest(&self.metrics_jsonl),
+            digest(&self.perfetto_json),
+            fid.to_json(),
+        )
+    }
+
+    /// Write the three artifacts into `dir` (created if missing). Returns
+    /// the paths written.
+    pub fn write_artifacts(&self, dir: &str) -> Result<Vec<String>, ArtifactError> {
+        let paths = [
+            (
+                format!("{dir}/metrics_{}.jsonl", self.scenario),
+                &self.metrics_jsonl,
+            ),
+            (
+                format!("{dir}/perfetto_{}.json", self.scenario),
+                &self.perfetto_json,
+            ),
+            (
+                format!("{dir}/manifest_{}.json", self.scenario),
+                &self.manifest_json(),
+            ),
+        ];
+        let mut written = Vec::new();
+        for (path, contents) in &paths {
+            write_artifact(path, contents)?;
+            written.push(path.clone());
+        }
+        Ok(written)
+    }
+}
+
+/// CLI scale label, matching [`Scale::parse`].
+pub fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Quick => "quick",
+        Scale::Paper => "paper",
+    }
+}
+
+/// Run one named scenario with the observatory on. `None` for an unknown
+/// scenario name.
+pub fn observe(scenario: &str, scale: Scale, seed: u64) -> Option<ObserveRun> {
+    match scenario {
+        "incast" => Some(incast(scale, seed)),
+        _ => None,
+    }
+}
+
+/// N-to-1 RoCC incast on the 40G dumbbell, observed: bottleneck queue and
+/// every flow watched, 10 µs sampling, full event telemetry for the
+/// Perfetto export. Start times carry a small seed-derived jitter so
+/// different seeds genuinely produce different runs (the fabric itself is
+/// single-path, so the topology alone would not consume the seed).
+pub fn incast(scale: Scale, seed: u64) -> ObserveRun {
+    let (n, size, horizon) = match scale {
+        Scale::Quick => (8usize, 2_000_000u64, SimTime::from_millis(200)),
+        Scale::Paper => (16, 10_000_000, SimTime::from_millis(1000)),
+    };
+    let d = scenarios::dumbbell(n, BitRate::from_gbps(40));
+    let cfg = SimConfig {
+        seed,
+        ..SimConfig::default()
+    };
+    let config_debug = format!(
+        "{:?}",
+        SimConfig {
+            seed: 0,
+            ..cfg.clone()
+        }
+    );
+    let mut sim = micro::sim_with(d.topo, Scheme::Rocc, 7, cfg);
+    sim.trace.telemetry.collect(EventMask::ALL);
+    sim.trace.observatory.enable();
+    sim.trace.sample_period = Some(SimDuration::from_micros(10));
+    sim.trace.watch_queue(d.switch, d.bottleneck_port);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    for (i, &s) in d.senders.iter().enumerate() {
+        sim.trace.watch_flow_rate(FlowId(i as u64));
+        sim.add_flow(FlowSpec {
+            id: FlowId(i as u64),
+            src: s,
+            dst: d.receiver,
+            size,
+            start: SimTime::from_nanos(rng.gen_range(0..10_000)),
+            offered: None,
+        });
+    }
+    let _ = sim.run_until_flows_done(horizon);
+    ObserveRun {
+        scenario: "incast",
+        seed,
+        scale,
+        flows: n,
+        completed: sim.trace.fcts.len(),
+        metrics_jsonl: sim.trace.observatory.to_jsonl(),
+        perfetto_json: export_chrome_trace(&sim),
+        config_debug,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Digests
+
+/// FNV-1a 64-bit over the UTF-8 bytes.
+pub fn fnv1a64(data: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in data.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// FNV-1a digest as 16 lowercase hex digits.
+pub fn digest(data: &str) -> String {
+    format!("{:016x}", fnv1a64(data))
+}
+
+/// Best-effort short git revision ("unknown" outside a work tree).
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+// ---------------------------------------------------------------------------
+// Fidelity summary (parsed back out of the metrics JSONL)
+
+/// The scalar fidelity metrics of one run, derived from its metrics JSONL.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FidelitySummary {
+    /// Jain's fairness index over per-flow mean goodput in the tail half
+    /// of the run (1.0 when no flow rows exist).
+    pub jain: f64,
+    /// First time (seconds) after which the busiest CP's fair rate stays
+    /// within 15% of its final value; `None` when it never settles.
+    pub conv_time_s: Option<f64>,
+    /// p99 of the watched queue depth, bytes.
+    pub queue_p99: f64,
+    /// Final cumulative PFC pause time, nanoseconds.
+    pub cum_pause_ns: u64,
+    /// Log-linear histogram of queue-depth samples, as ascending
+    /// `(bucket_lower_bound, count)` pairs — the exchange format
+    /// [`histogram_distance`] consumes.
+    pub queue_buckets: Vec<(u64, u64)>,
+}
+
+impl FidelitySummary {
+    /// Serialize as one JSON object (embedded in the run manifest).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"jain\":{:.6},\"conv_time_us\":{},\"queue_p99_bytes\":{:.1},\"cum_pause_ns\":{}}}",
+            self.jain,
+            match self.conv_time_s {
+                Some(t) => format!("{:.1}", t * 1e6),
+                None => "null".to_string(),
+            },
+            self.queue_p99,
+            self.cum_pause_ns,
+        )
+    }
+}
+
+/// Extract an unsigned integer field from one JSONL line.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Does the line carry the given `"type"` tag?
+fn is_row(line: &str, ty: &str) -> bool {
+    line.contains(&format!("\"type\":\"{ty}\""))
+}
+
+/// Reduce a metrics JSONL document to its [`FidelitySummary`].
+pub fn summarize_metrics(jsonl: &str) -> FidelitySummary {
+    let mut t_max: u64 = 0;
+    for line in jsonl.lines() {
+        if let Some(t) = field_u64(line, "t_ns") {
+            t_max = t_max.max(t);
+        }
+    }
+    let tail_from = t_max / 2;
+
+    // Per-flow mean goodput over the tail half → Jain.
+    let mut goodput: BTreeMap<u64, (f64, u64)> = BTreeMap::new();
+    // Fair-rate series of the busiest CP → convergence time.
+    let mut cp_series: BTreeMap<(u64, u64), Vec<(f64, f64)>> = BTreeMap::new();
+    // Queue-depth samples → p99 + histogram.
+    let mut queue_samples: Vec<f64> = Vec::new();
+    let mut queue_hist = Histogram::new();
+    let mut cum_pause_ns: u64 = 0;
+
+    for line in jsonl.lines() {
+        let Some(t) = field_u64(line, "t_ns") else {
+            continue;
+        };
+        if is_row(line, "flow") {
+            if t >= tail_from {
+                if let (Some(f), Some(g)) = (field_u64(line, "flow"), field_u64(line, "goodput_bps")) {
+                    let e = goodput.entry(f).or_insert((0.0, 0));
+                    e.0 += g as f64;
+                    e.1 += 1;
+                }
+            }
+        } else if is_row(line, "cp") {
+            if let (Some(n), Some(p), Some(r)) = (
+                field_u64(line, "node"),
+                field_u64(line, "port"),
+                field_u64(line, "fair_rate_units"),
+            ) {
+                cp_series
+                    .entry((n, p))
+                    .or_default()
+                    .push((t as f64 / 1e9, r as f64));
+            }
+        } else if is_row(line, "queue") {
+            if let Some(b) = field_u64(line, "bytes") {
+                queue_samples.push(b as f64);
+                queue_hist.record(b);
+            }
+        } else if is_row(line, "pfc") {
+            if let Some(c) = field_u64(line, "cum_pause_ns") {
+                cum_pause_ns = cum_pause_ns.max(c);
+            }
+        }
+    }
+
+    let means: Vec<f64> = goodput
+        .values()
+        .filter(|(_, n)| *n > 0)
+        .map(|(s, n)| s / *n as f64)
+        .collect();
+    let jain = jain_fairness(&means).unwrap_or(1.0);
+
+    let conv_time_s = cp_series
+        .values()
+        .max_by_key(|s| s.len())
+        .and_then(|series| {
+            let tail = &series[series.len() - (series.len() / 4).max(1)..];
+            let target = tail.iter().map(|&(_, v)| v).sum::<f64>() / tail.len() as f64;
+            convergence_time(series, target, 0.15).ok().flatten()
+        });
+
+    let queue_p99 = percentile(&queue_samples, 0.99).unwrap_or(0.0);
+
+    FidelitySummary {
+        jain,
+        conv_time_s,
+        queue_p99,
+        cum_pause_ns,
+        queue_buckets: queue_hist.nonempty_buckets(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-run comparison
+
+/// One fidelity metric compared across two runs, with its verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FidelityCheck {
+    /// Metric name.
+    pub name: &'static str,
+    /// Value in run A.
+    pub a: f64,
+    /// Value in run B.
+    pub b: f64,
+    /// The compared delta (absolute difference, ratio, or distance —
+    /// per-metric, see [`compare`]).
+    pub delta: f64,
+    /// The pass threshold on `delta`.
+    pub limit: f64,
+    /// Did the check pass?
+    pub pass: bool,
+}
+
+impl FidelityCheck {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"a\":{:.6},\"b\":{:.6},\"delta\":{:.6},\"limit\":{:.6},\"pass\":{}}}",
+            self.name, self.a, self.b, self.delta, self.limit, self.pass
+        )
+    }
+}
+
+/// The full comparison report of two runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareReport {
+    /// One entry per fidelity metric.
+    pub checks: Vec<FidelityCheck>,
+}
+
+impl CompareReport {
+    /// Did every check pass?
+    pub fn pass(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+    }
+
+    /// Serialize as one JSON object.
+    pub fn to_json(&self) -> String {
+        let checks: Vec<String> = self.checks.iter().map(|c| c.to_json()).collect();
+        format!(
+            "{{\"pass\":{},\"checks\":[{}]}}",
+            self.pass(),
+            checks.join(",")
+        )
+    }
+
+    /// Human-readable table for the CLI.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for c in &self.checks {
+            out.push_str(&format!(
+                "{:<22} a={:<14.4} b={:<14.4} delta={:<10.4} limit={:<8.4} {}\n",
+                c.name,
+                c.a,
+                c.b,
+                c.delta,
+                c.limit,
+                if c.pass { "PASS" } else { "FAIL" }
+            ));
+        }
+        out.push_str(if self.pass() {
+            "fidelity: PASS\n"
+        } else {
+            "fidelity: FAIL\n"
+        });
+        out
+    }
+}
+
+/// Compare the fidelity summaries of two runs of the same config
+/// (different seeds). Thresholds are deliberately loose enough that two
+/// seeds of the golden incast pass, and tight enough that a different
+/// scheme or a broken controller fails:
+///
+/// * `jain` — absolute difference ≤ 0.05 (both runs must be ~equally fair),
+/// * `conv_time` — relative difference ≤ 75% (settling time is the
+///   noisiest metric across seeds); both-never-settling also passes,
+///   one-sided settling fails,
+/// * `queue_p99` — ratio ≤ 1.5×,
+/// * `queue_hist` — total-variation distance ≤ 0.35.
+pub fn compare(a: &FidelitySummary, b: &FidelitySummary) -> CompareReport {
+    let mut checks = Vec::new();
+
+    let d = (a.jain - b.jain).abs();
+    checks.push(FidelityCheck {
+        name: "jain_fairness",
+        a: a.jain,
+        b: b.jain,
+        delta: d,
+        limit: 0.05,
+        pass: d <= 0.05,
+    });
+
+    let (ca, cb) = (a.conv_time_s, b.conv_time_s);
+    let (va, vb) = (ca.unwrap_or(-1.0), cb.unwrap_or(-1.0));
+    let (delta, pass) = match (ca, cb) {
+        (Some(x), Some(y)) => {
+            let rel = (x - y).abs() / x.max(y).max(1e-9);
+            (rel, rel <= 0.75)
+        }
+        (None, None) => (0.0, true),
+        _ => (f64::INFINITY, false),
+    };
+    checks.push(FidelityCheck {
+        name: "conv_time",
+        a: va,
+        b: vb,
+        delta,
+        limit: 0.75,
+        pass,
+    });
+
+    let (lo, hi) = (a.queue_p99.min(b.queue_p99), a.queue_p99.max(b.queue_p99));
+    let ratio = if hi == 0.0 { 1.0 } else { hi / lo.max(1.0) };
+    checks.push(FidelityCheck {
+        name: "queue_p99",
+        a: a.queue_p99,
+        b: b.queue_p99,
+        delta: ratio,
+        limit: 1.5,
+        pass: ratio <= 1.5,
+    });
+
+    let tv = histogram_distance(&a.queue_buckets, &b.queue_buckets).unwrap_or(1.0);
+    checks.push(FidelityCheck {
+        name: "queue_hist_tv",
+        a: a.queue_buckets.iter().map(|&(_, c)| c).sum::<u64>() as f64,
+        b: b.queue_buckets.iter().map(|&(_, c)| c).sum::<u64>() as f64,
+        delta: tv,
+        limit: 0.35,
+        pass: tv <= 0.35,
+    });
+
+    CompareReport { checks }
+}
+
+/// Locate the metrics JSONL for a run directory (or accept a direct file
+/// path), read it, and summarize. Returns an error string suitable for
+/// the CLI.
+pub fn load_summary(path: &str) -> Result<FidelitySummary, String> {
+    let p = std::path::Path::new(path);
+    let file = if p.is_dir() {
+        let mut found = None;
+        let mut entries: Vec<_> = std::fs::read_dir(p)
+            .map_err(|e| format!("cannot read {path}: {e}"))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for e in entries {
+            let name = e.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.starts_with("metrics_") && name.ends_with(".jsonl") {
+                found = Some(e);
+                break;
+            }
+        }
+        found.ok_or_else(|| format!("no metrics_*.jsonl in {path}"))?
+    } else {
+        p.to_path_buf()
+    };
+    let jsonl = std::fs::read_to_string(&file)
+        .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+    Ok(summarize_metrics(&jsonl))
+}
+
+// ---------------------------------------------------------------------------
+// Golden gate
+
+/// The committed golden baseline document for the pinned quick incast.
+pub fn golden_json(run: &ObserveRun) -> String {
+    format!(
+        concat!(
+            "{{\"schema\":\"rocc-observatory-golden/v1\",",
+            "\"scenario\":\"{}\",\"scale\":\"{}\",\"seed\":{},",
+            "\"metrics_digest\":\"{}\",\"fidelity\":{}}}\n"
+        ),
+        run.scenario,
+        scale_name(run.scale),
+        run.seed,
+        digest(&run.metrics_jsonl),
+        summarize_metrics(&run.metrics_jsonl).to_json(),
+    )
+}
+
+/// Run the pinned golden config and produce its baseline document.
+pub fn golden_run() -> ObserveRun {
+    incast(Scale::Quick, GOLDEN_SEED)
+}
+
+/// Re-run the pinned config and diff its metrics digest against the
+/// committed baseline at `path`. `Ok` carries a confirmation line; `Err`
+/// the failure with the regeneration instruction.
+pub fn golden_check(path: &str) -> Result<String, String> {
+    let committed =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read golden {path}: {e}"))?;
+    let want = field_str(&committed, "metrics_digest")
+        .ok_or_else(|| format!("golden {path} has no metrics_digest field"))?;
+    let run = golden_run();
+    let got = digest(&run.metrics_jsonl);
+    if got == want {
+        Ok(format!("golden: PASS (metrics_digest {got})"))
+    } else {
+        Err(format!(
+            "golden: FAIL — metrics_digest {got} != committed {want}\n\
+             The observatory time series changed. If intentional, regenerate with\n\
+             `cargo run --release -p rocc-experiments --bin repro -- golden write`\n\
+             and commit the new {path}."
+        ))
+    }
+}
+
+/// Extract a string field from a JSON document.
+fn field_str(doc: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = doc.find(&pat)? + pat.len();
+    let rest = &doc[start..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_digest_is_stable() {
+        assert_eq!(fnv1a64(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(digest("hello"), format!("{:016x}", fnv1a64("hello")));
+        assert_ne!(digest("a"), digest("b"));
+    }
+
+    #[test]
+    fn field_extractors_parse_metric_rows() {
+        let line = "{\"t_ns\":3000,\"type\":\"queue\",\"node\":2,\"port\":1,\"bytes\":4096}";
+        assert_eq!(field_u64(line, "t_ns"), Some(3000));
+        assert_eq!(field_u64(line, "bytes"), Some(4096));
+        assert_eq!(field_u64(line, "missing"), None);
+        assert!(is_row(line, "queue"));
+        assert!(!is_row(line, "flow"));
+        let doc = "{\"metrics_digest\":\"00ff\",\"x\":1}";
+        assert_eq!(field_str(doc, "metrics_digest").as_deref(), Some("00ff"));
+    }
+
+    #[test]
+    fn summarize_reduces_a_synthetic_series() {
+        let mut jsonl = String::new();
+        // Two flows, perfectly fair in the tail.
+        for t in [0u64, 100_000, 200_000, 300_000] {
+            for f in 0..2u64 {
+                jsonl.push_str(&format!(
+                    "{{\"t_ns\":{t},\"type\":\"flow\",\"flow\":{f},\"rp_bps\":5,\"goodput_bps\":{}}}\n",
+                    if t < 150_000 { 1 + f } else { 10 }
+                ));
+            }
+            jsonl.push_str(&format!(
+                "{{\"t_ns\":{t},\"type\":\"queue\",\"node\":0,\"port\":0,\"bytes\":{}}}\n",
+                t / 1000
+            ));
+            jsonl.push_str(&format!(
+                "{{\"t_ns\":{t},\"type\":\"cp\",\"node\":0,\"port\":0,\"fair_rate_units\":{},\"region\":0,\"alpha\":0.5,\"beta\":1.5}}\n",
+                if t == 0 { 1000 } else { 500 }
+            ));
+            jsonl.push_str(&format!(
+                "{{\"t_ns\":{t},\"type\":\"pfc\",\"cum_pause_ns\":{}}}\n",
+                t / 10
+            ));
+        }
+        let s = summarize_metrics(&jsonl);
+        assert!((s.jain - 1.0).abs() < 1e-9, "tail goodput is equal: {s:?}");
+        // Rate steps 1000 → 500 at t=100 µs and holds: converges there.
+        assert!((s.conv_time_s.unwrap() - 1e-4).abs() < 1e-9, "{s:?}");
+        assert_eq!(s.cum_pause_ns, 30_000);
+        assert!(s.queue_p99 > 0.0);
+        assert!(!s.queue_buckets.is_empty());
+        // A run is trivially fidelity-equal to itself.
+        let rep = compare(&s, &s);
+        assert!(rep.pass(), "{}", rep.render());
+        assert!(rep.to_json().contains("\"pass\":true"));
+    }
+
+    #[test]
+    fn compare_flags_divergent_runs() {
+        let a = FidelitySummary {
+            jain: 0.99,
+            conv_time_s: Some(1e-3),
+            queue_p99: 10_000.0,
+            cum_pause_ns: 0,
+            queue_buckets: vec![(0, 100)],
+        };
+        let b = FidelitySummary {
+            jain: 0.60, // very unfair
+            conv_time_s: None,
+            queue_p99: 100_000.0,
+            cum_pause_ns: 0,
+            queue_buckets: vec![(1 << 20, 100)],
+        };
+        let rep = compare(&a, &b);
+        assert!(!rep.pass());
+        for c in &rep.checks {
+            assert!(!c.pass, "{} should fail on divergent runs", c.name);
+        }
+        let rendered = rep.render();
+        assert!(rendered.contains("FAIL"));
+    }
+}

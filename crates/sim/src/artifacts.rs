@@ -1,0 +1,107 @@
+//! Artifact-directory handling for run outputs (verdict dumps, metrics
+//! JSONL, Perfetto traces, manifests): recursive directory creation and
+//! file writes with typed errors instead of a panic deep inside a run.
+
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Why an artifact could not be written.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// The output directory (or a parent) could not be created.
+    CreateDir {
+        /// The directory that failed.
+        path: PathBuf,
+        /// The underlying IO error.
+        source: io::Error,
+    },
+    /// The file itself could not be written.
+    Write {
+        /// The file that failed.
+        path: PathBuf,
+        /// The underlying IO error.
+        source: io::Error,
+    },
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::CreateDir { path, source } => {
+                write!(
+                    f,
+                    "cannot create artifact directory {}: {source}",
+                    path.display()
+                )
+            }
+            ArtifactError::Write { path, source } => {
+                write!(f, "cannot write artifact {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArtifactError::CreateDir { source, .. } | ArtifactError::Write { source, .. } => {
+                Some(source)
+            }
+        }
+    }
+}
+
+/// Create `dir` (and every missing parent) if it does not exist.
+pub fn ensure_dir(dir: impl AsRef<Path>) -> Result<(), ArtifactError> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir).map_err(|source| ArtifactError::CreateDir {
+        path: dir.to_path_buf(),
+        source,
+    })
+}
+
+/// Write `contents` to `path`, creating the parent directory chain first.
+pub fn write_artifact(path: impl AsRef<Path>, contents: &str) -> Result<(), ArtifactError> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            ensure_dir(parent)?;
+        }
+    }
+    std::fs::write(path, contents).map_err(|source| ArtifactError::Write {
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("rocc_artifacts_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn writes_through_missing_parents() {
+        let root = scratch("nested");
+        let _ = std::fs::remove_dir_all(&root);
+        let path = root.join("a/b/c.json");
+        write_artifact(&path, "{}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{}");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn create_dir_failure_is_typed() {
+        let root = scratch("clobber");
+        let _ = std::fs::remove_dir_all(&root);
+        // A file where a directory must go forces CreateDir to fail.
+        std::fs::write(&root, "not a dir").unwrap();
+        let err = ensure_dir(root.join("sub")).unwrap_err();
+        assert!(matches!(err, ArtifactError::CreateDir { .. }));
+        assert!(err.to_string().contains("cannot create artifact directory"));
+        let _ = std::fs::remove_file(&root);
+    }
+}

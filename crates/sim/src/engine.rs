@@ -364,6 +364,12 @@ impl Sim {
         self.events_processed
     }
 
+    /// Every registered flow, in registration order (trace exporters,
+    /// cross-run analysis).
+    pub fn flows(&self) -> &[FlowSpec] {
+        &self.flows
+    }
+
     /// Self-profiling summary: events processed, events/sec, peak
     /// event-queue length, wall-clock per simulated second. Wall time is
     /// accumulated across all `run_until*` calls; it reads the host clock
@@ -599,12 +605,12 @@ impl Sim {
     /// into `$ROCC_VERDICT_DIR` (CI artifact collection).
     fn publish_verdict(&mut self, verdict: &RunVerdict) {
         if let RunVerdict::Failed(e) = verdict {
-            if self.trace.telemetry.wants(EventMask::SANITIZER) {
+            if self.trace.wants(EventMask::SANITIZER) {
                 let cycle_len = match e {
                     SimError::PfcDeadlock { cycle, .. } => cycle.len() as u32,
                     _ => 0,
                 };
-                self.trace.telemetry.publish(SimEvent::Verdict {
+                self.trace.publish_event(SimEvent::Verdict {
                     t: self.kernel.now,
                     kind: e.kind(),
                     cycle_len,
@@ -845,8 +851,8 @@ impl Sim {
 
     /// Publish a packet-drop telemetry event (no-op unless enabled).
     fn publish_drop(&mut self, node: NodeId, flow: FlowId, cause: DropCause) {
-        if self.trace.telemetry.wants(EventMask::DROP) {
-            self.trace.telemetry.publish(SimEvent::Drop {
+        if self.trace.wants(EventMask::DROP) {
+            self.trace.publish_event(SimEvent::Drop {
                 t: self.kernel.now,
                 node,
                 flow,
@@ -857,8 +863,8 @@ impl Sim {
 
     /// Apply a scheduled fault transition.
     fn apply_fault(&mut self, fe: FaultEvent) {
-        if self.trace.telemetry.wants(EventMask::FAULT) {
-            self.trace.telemetry.publish(SimEvent::Fault {
+        if self.trace.wants(EventMask::FAULT) {
+            self.trace.publish_event(SimEvent::Fault {
                 t: self.kernel.now,
                 fault: fe,
             });
@@ -958,21 +964,53 @@ impl Sim {
                 }
             }
         }
+        // Observatory time-series rows: one gated block of pure reads, so
+        // the disabled path costs a single branch and the enabled path
+        // cannot perturb the schedule.
+        if self.trace.observatory.is_enabled() {
+            for i in 0..self.trace.watched_queues().len() {
+                let (n, p) = self.trace.watched_queues()[i];
+                if let NodeSlot::Switch(sw) = &self.nodes[n.0] {
+                    let (q, _) = sw.snapshot(p);
+                    self.trace.observatory.note_queue_sample(now, n, p, q);
+                }
+            }
+            let flows: Vec<FlowId> = self.trace.watched_flows().to_vec();
+            for (i, f) in flows.into_iter().enumerate() {
+                let goodput = self.trace.flow_rate_series[i]
+                    .last()
+                    .map(|s| s.v as u64)
+                    .unwrap_or(0);
+                let rp_bps = self
+                    .flow_dir
+                    .get(&f)
+                    .and_then(|meta| match &self.nodes[meta.src.0] {
+                        NodeSlot::Host(h) => h.cc_rate(f).map(|d| d.rate.as_bps()),
+                        NodeSlot::Switch(_) => None,
+                    })
+                    .unwrap_or(0);
+                self.trace.observatory.note_flow_sample(now, f, rp_bps, goodput);
+            }
+            self.trace.observatory.sample_tick(now);
+        }
         self.kernel.schedule(now + period, Event::Sample);
     }
 }
 
 /// Write a failed verdict's JSON into `dir` for artifact collection.
-/// Best-effort: IO errors are swallowed (a verdict dump must never take
-/// down the run that produced it).
+/// Best-effort: a verdict dump must never take down the run that produced
+/// it, so failures are reported on stderr (with the typed
+/// [`crate::artifacts::ArtifactError`]) instead of panicking or being
+/// silently swallowed.
 fn dump_verdict(dir: &str, verdict: &RunVerdict) {
     use std::sync::atomic::{AtomicU64, Ordering};
     static SEQ: AtomicU64 = AtomicU64::new(0);
     let n = SEQ.fetch_add(1, Ordering::Relaxed);
     let pid = std::process::id();
     let path = std::path::Path::new(dir).join(format!("verdict_{pid}_{n}.json"));
-    let _ = std::fs::create_dir_all(dir);
-    let _ = std::fs::write(path, verdict.to_json());
+    if let Err(e) = crate::artifacts::write_artifact(&path, &verdict.to_json()) {
+        eprintln!("ROCC_VERDICT_DIR dump failed: {e}");
+    }
 }
 
 #[cfg(test)]

@@ -284,7 +284,7 @@ impl Host {
     fn publish_cc_events(&self, k: &Kernel, trace: &mut Trace, flow: FlowId, events: Vec<CcEvent>) {
         for ev in events {
             if let CcEvent::RpTransition { kind, rate_bps, cp } = ev {
-                trace.telemetry.publish(SimEvent::RpTransition {
+                trace.publish_event(SimEvent::RpTransition {
                     t: k.now,
                     node: self.id,
                     flow,
@@ -745,7 +745,7 @@ impl Host {
         flow: FlowId,
         fb: FeedbackEvent,
     ) {
-        let mut ctx = self.cc_ctx(k, trace.telemetry.cc_mask());
+        let mut ctx = self.cc_ctx(k, trace.cc_mask());
         let Some(f) = self.flows.get_mut(&flow) else {
             return;
         };
@@ -787,7 +787,7 @@ impl Host {
                 return;
             }
         }
-        let mut ctx = self.cc_ctx(k, trace.telemetry.cc_mask());
+        let mut ctx = self.cc_ctx(k, trace.cc_mask());
         let Some(f) = self.flows.get_mut(&flow) else {
             return;
         };
@@ -895,7 +895,7 @@ impl Host {
     ) {
         let mut completed = false;
         {
-            let mut ctx = self.cc_ctx(k, trace.telemetry.cc_mask());
+            let mut ctx = self.cc_ctx(k, trace.cc_mask());
             let Some(f) = self.flows.get_mut(&flow) else {
                 return;
             };

@@ -62,13 +62,16 @@
 
 #![warn(missing_docs)]
 
+pub mod artifacts;
 pub mod cc;
 pub mod config;
 pub mod engine;
 pub mod fastmap;
 pub mod fault;
 pub mod host;
+pub mod metrics;
 pub mod packet;
+pub mod perfetto;
 pub mod sanitizer;
 pub mod slab;
 pub mod switch;
@@ -80,6 +83,7 @@ pub mod units;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
+    pub use crate::artifacts::{ensure_dir, write_artifact, ArtifactError};
     pub use crate::cc::{
         AckEvent, CtrlEmit, FeedbackEvent, FixedRateFactory, HostCc, HostCcCtx, HostCcFactory,
         NullHostCcFactory, NullSwitchCcFactory, PacketMeta, RateDecision, SwitchCc, SwitchCcCtx,
@@ -92,7 +96,9 @@ pub mod prelude {
         FaultDecision, FaultEvent, FaultPlan, FaultState, FaultTarget, HostFault, HostFaultKind,
         LinkFault, LinkFlap,
     };
+    pub use crate::metrics::{MetricRow, Observatory};
     pub use crate::packet::{CpId, FlowId, IntHop, IntStack, Packet, PacketKind};
+    pub use crate::perfetto::export_chrome_trace;
     pub use crate::sanitizer::{
         PauseCycleNode, PauseReport, RunVerdict, Sanitizer, SanitizerReport, SimError,
     };

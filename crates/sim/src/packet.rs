@@ -17,7 +17,7 @@ pub struct FlowId(pub u64);
 /// Identifies a congestion point: an egress port of a switch.
 /// RoCC's RP compares CP identities when arbitrating between CNPs from
 /// multiple bottlenecks (Alg. 2 line 4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CpId {
     /// The switch that generated the feedback.
     pub node: NodeId,

@@ -246,8 +246,8 @@ impl Switch {
 
     /// Publish a packet-drop telemetry event at this switch.
     fn publish_drop(&self, k: &Kernel, trace: &mut Trace, flow: FlowId, cause: DropCause) {
-        if trace.telemetry.wants(EventMask::DROP) {
-            trace.telemetry.publish(SimEvent::Drop {
+        if trace.wants(EventMask::DROP) {
+            trace.publish_event(SimEvent::Drop {
                 t: k.now,
                 node: self.id,
                 flow,
@@ -269,7 +269,7 @@ impl Switch {
                 qlen_bytes,
             } = ev
             {
-                trace.telemetry.publish(SimEvent::CpDecision {
+                trace.publish_event(SimEvent::CpDecision {
                     t: k.now,
                     cp: CpId {
                         node: self.id,
@@ -384,7 +384,7 @@ impl Switch {
                 src,
                 wire_bytes: wire,
             };
-            let mut ctx = self.cc_ctx(k, egress, trace.telemetry.cc_mask());
+            let mut ctx = self.cc_ctx(k, egress, trace.cc_mask());
             let mark = self.ports[egress.0].cc.on_enqueue(&mut ctx, meta);
             let emits = std::mem::take(&mut ctx.emits);
             let events = std::mem::take(&mut ctx.events);
@@ -458,7 +458,7 @@ impl Switch {
             // Switch-originated feedback is born here: it enters the
             // conservation ledger at the instant it is queued.
             k.san.inject(pkt.wire_bytes());
-            if trace.telemetry.wants(EventMask::CNP) {
+            if trace.wants(EventMask::CNP) {
                 let (cp, units) = match pkt.kind {
                     PacketKind::RoccCnp {
                         fair_rate_units,
@@ -473,7 +473,7 @@ impl Switch {
                         0,
                     ),
                 };
-                trace.telemetry.publish(SimEvent::CnpEmit {
+                trace.publish_event(SimEvent::CnpEmit {
                     t: k.now,
                     cp,
                     flow: e.flow,
@@ -510,7 +510,7 @@ impl Switch {
                         src,
                         wire_bytes: wire,
                     };
-                    let mut ctx = self.cc_ctx(k, p, trace.telemetry.cc_mask());
+                    let mut ctx = self.cc_ctx(k, p, trace.cc_mask());
                     let hop = self.ports[p.0].cc.on_dequeue(&mut ctx, meta);
                     let emits = std::mem::take(&mut ctx.emits);
                     let events = std::mem::take(&mut ctx.events);
@@ -589,7 +589,7 @@ impl Switch {
         trace: &mut Trace,
         p: PortId,
     ) {
-        let mut ctx = self.cc_ctx(k, p, trace.telemetry.cc_mask());
+        let mut ctx = self.cc_ctx(k, p, trace.cc_mask());
         self.ports[p.0].cc.on_timer(&mut ctx);
         let emits = std::mem::take(&mut ctx.emits);
         let events = std::mem::take(&mut ctx.events);

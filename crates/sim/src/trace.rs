@@ -6,6 +6,7 @@
 //! collected series. All counters are exact (event-driven); samplers are
 //! periodic snapshots.
 
+use crate::metrics::Observatory;
 use crate::packet::FlowId;
 use crate::fastmap::FxHashMap;
 use crate::telemetry::{EventMask, SimEvent, Telemetry};
@@ -99,6 +100,9 @@ pub struct Trace {
     /// Structured telemetry sink: typed event log, counters, histograms.
     /// Fully disabled by default (see [`crate::telemetry`]).
     pub telemetry: Telemetry,
+    /// Time-series observatory: periodic queue/CP/flow/PFC samples exported
+    /// as JSONL. Fully disabled by default (see [`crate::metrics`]).
+    pub observatory: Observatory,
     /// Ports whose egress data-queue depth is sampled.
     watched_queues: Vec<(NodeId, PortId)>,
     /// Index into `watched_queues`/`queue_peak` by (node, port), so the
@@ -312,11 +316,33 @@ impl Trace {
         self.cc_rate_series[idx].push(Sample { t, v: bps });
     }
 
+    /// One-branch hot-path guard spanning every event consumer: true when
+    /// the telemetry sink *or* the observatory wants events of `class`.
+    /// Emission sites call this before constructing a [`SimEvent`].
+    #[inline]
+    pub fn wants(&self, class: EventMask) -> bool {
+        self.telemetry.wants(class) || self.observatory.wants_mask().intersects(class)
+    }
+
+    /// Classes CC callbacks should buffer: the union of the telemetry
+    /// sink's and the observatory's decision-class interests.
+    pub fn cc_mask(&self) -> EventMask {
+        self.telemetry.cc_mask().union(self.observatory.cc_mask())
+    }
+
+    /// Route one event to every consumer (observatory first, then the
+    /// telemetry sink's subscribers/log/metrics). Each consumer applies its
+    /// own mask, so publishing an unwanted class is a cheap no-op.
+    pub fn publish_event(&mut self, ev: SimEvent) {
+        self.observatory.observe(&ev);
+        self.telemetry.publish(ev);
+    }
+
     /// Record a PFC pause event.
     pub fn note_pfc(&mut self, t: SimTime, node: NodeId, port: PortId) {
         self.pfc_events.push(PfcEvent { t, node, port });
-        if self.telemetry.wants(EventMask::PFC) {
-            self.telemetry.publish(SimEvent::Pfc {
+        if self.wants(EventMask::PFC) {
+            self.publish_event(SimEvent::Pfc {
                 t,
                 node,
                 port,
@@ -327,10 +353,10 @@ impl Trace {
 
     /// Record a PFC resume (XON) event. Resumes are not kept in
     /// [`Trace::pfc_events`] (which counts pauses, matching the paper's
-    /// PFC metric) but are visible to telemetry.
+    /// PFC metric) but are visible to telemetry and the observatory.
     pub fn note_pfc_resume(&mut self, t: SimTime, node: NodeId, port: PortId) {
-        if self.telemetry.wants(EventMask::PFC) {
-            self.telemetry.publish(SimEvent::Pfc {
+        if self.wants(EventMask::PFC) {
+            self.publish_event(SimEvent::Pfc {
                 t,
                 node,
                 port,

@@ -194,6 +194,82 @@ fn sanitizer_is_invisible_to_clean_runs() {
     }
 }
 
+/// The observatory sampler obeys the same discipline: a faulted run with
+/// the observatory collecting queue/CP/flow/PFC time series is
+/// bit-identical to the same seed with it off. Sampling is configured
+/// identically in both runs (the sample tick schedules kernel events);
+/// only the observatory enable differs — telemetry stays off in both, so
+/// this also proves the observatory works through the trace-level gate on
+/// its own.
+#[test]
+fn observatory_is_invisible_to_the_simulation() {
+    let run = |seed: u64, observe: bool| {
+        let (topo, srcs, dst) = dumbbell(6, 40);
+        let cfg = SimConfig {
+            seed,
+            fault_plan: FaultPlan::default()
+                .with_loss(FaultTarget::Data, 0.004)
+                .with_loss(FaultTarget::Cnp, 0.01)
+                .with_flap(
+                    LinkId(3),
+                    SimTime::from_micros(400),
+                    SimTime::from_micros(900),
+                ),
+            ..SimConfig::default()
+        };
+        let mut sim = Sim::new(
+            topo,
+            cfg,
+            Box::new(RoccHostCcFactory::new()),
+            Box::new(RoccSwitchCcFactory::new()),
+        );
+        sim.trace.sample_period = Some(SimDuration::from_micros(10));
+        sim.trace.watch_queue(NodeId(0), PortId(0));
+        for i in 0..srcs.len() {
+            sim.trace.watch_flow_rate(FlowId(i as u64));
+        }
+        if observe {
+            sim.trace.observatory.enable();
+        }
+        for (i, &s) in srcs.iter().enumerate() {
+            sim.add_flow(FlowSpec {
+                id: FlowId(i as u64),
+                src: s,
+                dst,
+                size: 1_000_000,
+                start: SimTime::ZERO,
+                offered: None,
+            });
+        }
+        let done = sim.run_until_flows_done(SimTime::from_millis(100)).is_complete();
+        assert!(done, "faulted incast must complete within the horizon");
+        if observe {
+            let o = &sim.trace.observatory;
+            assert!(!o.rows().is_empty(), "observatory collected nothing");
+            let jsonl = o.to_jsonl();
+            assert!(jsonl.contains("\"type\":\"queue\""), "no queue rows");
+            assert!(jsonl.contains("\"type\":\"flow\""), "no flow rows");
+            assert!(jsonl.contains("\"type\":\"cp\""), "no CP rows");
+            assert!(jsonl.contains("\"type\":\"pfc\""), "no PFC rows");
+            (summarize(&sim), jsonl)
+        } else {
+            assert!(sim.trace.observatory.rows().is_empty());
+            (summarize(&sim), String::new())
+        }
+    };
+    for seed in [1u64, 7, 42, 1234] {
+        let (plain, _) = run(seed, false);
+        let (observed, jsonl_a) = run(seed, true);
+        assert_eq!(
+            plain, observed,
+            "the observatory perturbed the run at seed {seed}"
+        );
+        // And the time series itself is deterministic.
+        let (_, jsonl_b) = run(seed, true);
+        assert_eq!(jsonl_a, jsonl_b, "observatory output not deterministic");
+    }
+}
+
 /// Determinism of the telemetry itself: two instrumented runs of the same
 /// seed produce the identical event log and metrics export.
 #[test]

@@ -2,9 +2,44 @@
 //!
 //! Percentiles, means with confidence intervals over repeated runs,
 //! flow-size binning (the paper reports FCT per flow-size bin with 95% CIs
-//! over 5 repetitions), and Jain's fairness index.
+//! over 5 repetitions), Jain's fairness index, and the fidelity metrics
+//! used by the run observatory (`repro compare`): convergence-time
+//! detection on sampled series, quantiles over pre-bucketed histograms,
+//! and a normalized histogram distance.
 
 #![warn(missing_docs)]
+
+use std::fmt;
+
+/// A typed rejection from a statistics function: the input is malformed in
+/// a way that has no meaningful numeric answer. Callers get a value they
+/// can report instead of a panic deep inside an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StatsError {
+    /// The sample set is empty.
+    Empty,
+    /// A sample is NaN, so no total order over the samples exists.
+    NanSample,
+    /// The requested quantile is NaN or outside `[0, 1]`.
+    QuantileOutOfRange {
+        /// The offending quantile.
+        q: f64,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::Empty => write!(f, "empty sample set"),
+            StatsError::NanSample => write!(f, "sample set contains NaN"),
+            StatsError::QuantileOutOfRange { q } => {
+                write!(f, "quantile {q} outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
 
 /// Summary statistics of one sample set.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,22 +79,113 @@ pub fn summarize(xs: &[f64]) -> Option<Summary> {
 }
 
 /// The `q`-quantile (0 ≤ q ≤ 1) by linear interpolation on the sorted
-/// sample (type-7, the common default). Returns `None` for empty input.
-pub fn percentile(xs: &[f64], q: f64) -> Option<f64> {
+/// sample (type-7, the common default). Rejects empty input, NaN samples,
+/// and out-of-range `q` with a typed [`StatsError`] instead of asserting.
+pub fn percentile(xs: &[f64], q: f64) -> Result<f64, StatsError> {
     if xs.is_empty() {
-        return None;
+        return Err(StatsError::Empty);
     }
-    assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+    if !(0.0..=1.0).contains(&q) {
+        return Err(StatsError::QuantileOutOfRange { q });
+    }
+    if xs.iter().any(|x| x.is_nan()) {
+        return Err(StatsError::NanSample);
+    }
     let mut v: Vec<f64> = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
     let pos = q * (v.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
     if lo == hi {
-        return Some(v[lo]);
+        return Ok(v[lo]);
     }
     let f = pos - lo as f64;
-    Some(v[lo] * (1.0 - f) + v[hi] * f)
+    Ok(v[lo] * (1.0 - f) + v[hi] * f)
+}
+
+/// The `q`-quantile of a pre-bucketed distribution: `buckets` is a sequence
+/// of `(lower_bound, count)` pairs in ascending bound order (empty buckets
+/// may be omitted). Returns the lower bound of the bucket holding the q-th
+/// recorded value — the same convention as HDR-style histogram readers, so
+/// `rocc-sim`'s telemetry histograms and `repro compare` share one
+/// implementation. Rejects empty/zero-count input and out-of-range `q`.
+pub fn bucket_quantile(buckets: &[(u64, u64)], q: f64) -> Result<u64, StatsError> {
+    if !(0.0..=1.0).contains(&q) || q.is_nan() {
+        return Err(StatsError::QuantileOutOfRange { q });
+    }
+    let n: u64 = buckets.iter().map(|&(_, c)| c).sum();
+    if n == 0 {
+        return Err(StatsError::Empty);
+    }
+    let rank = ((q * n as f64).ceil() as u64).max(1);
+    let mut seen = 0u64;
+    for &(low, c) in buckets {
+        seen += c;
+        if seen >= rank {
+            return Ok(low);
+        }
+    }
+    // Unreachable: seen reaches n ≥ rank on the last bucket.
+    Ok(buckets.last().map(|&(low, _)| low).unwrap_or(0))
+}
+
+/// First time after which a sampled series stays within `tol · target` of
+/// `target` for every remaining sample (the paper's "convergence time" /
+/// settle-time notion on Fig. 8/9 curves). `series` is `(time, value)`
+/// pairs in time order. `None` when it never settles; an error for empty
+/// input or a NaN target/tolerance.
+pub fn convergence_time(
+    series: &[(f64, f64)],
+    target: f64,
+    tol: f64,
+) -> Result<Option<f64>, StatsError> {
+    if series.is_empty() {
+        return Err(StatsError::Empty);
+    }
+    if target.is_nan() || tol.is_nan() {
+        return Err(StatsError::NanSample);
+    }
+    let band = tol * target.abs();
+    let mut candidate: Option<f64> = None;
+    for &(t, v) in series {
+        if v.is_nan() {
+            return Err(StatsError::NanSample);
+        }
+        if (v - target).abs() <= band {
+            candidate.get_or_insert(t);
+        } else {
+            candidate = None;
+        }
+    }
+    Ok(candidate)
+}
+
+/// Total-variation distance between two bucketed distributions, in
+/// `[0, 1]`: half the L1 distance between the count-normalized histograms,
+/// matching buckets by lower bound. 0 = identical shape, 1 = disjoint
+/// support. Symmetric by construction. Rejects distributions with zero
+/// total count.
+pub fn histogram_distance(a: &[(u64, u64)], b: &[(u64, u64)]) -> Result<f64, StatsError> {
+    let na: u64 = a.iter().map(|&(_, c)| c).sum();
+    let nb: u64 = b.iter().map(|&(_, c)| c).sum();
+    if na == 0 || nb == 0 {
+        return Err(StatsError::Empty);
+    }
+    let mut keys: Vec<u64> = a.iter().chain(b.iter()).map(|&(low, _)| low).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    let mass = |xs: &[(u64, u64)], key: u64, n: u64| -> f64 {
+        xs.iter()
+            .filter(|&&(low, _)| low == key)
+            .map(|&(_, c)| c)
+            .sum::<u64>() as f64
+            / n as f64
+    };
+    let l1: f64 = keys
+        .iter()
+        .map(|&k| (mass(a, k, na) - mass(b, k, nb)).abs())
+        .sum();
+    Ok((l1 / 2.0).clamp(0.0, 1.0))
 }
 
 /// Two-sided Student-t critical values at 95% for small n (the paper runs
@@ -165,10 +291,10 @@ mod tests {
     #[test]
     fn percentiles_interpolate() {
         let xs = [4.0, 1.0, 3.0, 2.0];
-        assert_eq!(percentile(&xs, 0.0), Some(1.0));
-        assert_eq!(percentile(&xs, 1.0), Some(4.0));
-        assert_eq!(percentile(&xs, 0.5), Some(2.5));
-        assert_eq!(percentile(&xs, 0.25), Some(1.75));
+        assert_eq!(percentile(&xs, 0.0), Ok(1.0));
+        assert_eq!(percentile(&xs, 1.0), Ok(4.0));
+        assert_eq!(percentile(&xs, 0.5), Ok(2.5));
+        assert_eq!(percentile(&xs, 0.25), Ok(1.75));
     }
 
     #[test]
@@ -176,6 +302,73 @@ mod tests {
         let xs: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
         let p99 = percentile(&xs, 0.99).unwrap();
         assert!((p99 - 990.01).abs() < 0.02);
+    }
+
+    #[test]
+    fn percentile_rejects_bad_input_with_typed_errors() {
+        assert_eq!(percentile(&[], 0.5), Err(StatsError::Empty));
+        assert_eq!(
+            percentile(&[1.0, f64::NAN], 0.5),
+            Err(StatsError::NanSample)
+        );
+        assert_eq!(
+            percentile(&[1.0], 1.5),
+            Err(StatsError::QuantileOutOfRange { q: 1.5 })
+        );
+        assert_eq!(
+            percentile(&[1.0], -0.1),
+            Err(StatsError::QuantileOutOfRange { q: -0.1 })
+        );
+        assert!(matches!(
+            percentile(&[1.0], f64::NAN),
+            Err(StatsError::QuantileOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn bucket_quantile_walks_cumulative_counts() {
+        // 10 values at 0, 80 at 100, 10 at 1000.
+        let b = [(0u64, 10u64), (100, 80), (1000, 10)];
+        assert_eq!(bucket_quantile(&b, 0.05), Ok(0));
+        assert_eq!(bucket_quantile(&b, 0.5), Ok(100));
+        assert_eq!(bucket_quantile(&b, 0.95), Ok(1000));
+        assert_eq!(bucket_quantile(&b, 0.0), Ok(0));
+        assert_eq!(bucket_quantile(&b, 1.0), Ok(1000));
+        assert_eq!(bucket_quantile(&[], 0.5), Err(StatsError::Empty));
+        assert!(matches!(
+            bucket_quantile(&b, 2.0),
+            Err(StatsError::QuantileOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn convergence_time_on_step_series() {
+        // Steps to the target at t=3 and stays: converges at 3.
+        let s: Vec<(f64, f64)> = (0..10)
+            .map(|i| (i as f64, if i < 3 { 0.0 } else { 100.0 }))
+            .collect();
+        assert_eq!(convergence_time(&s, 100.0, 0.05), Ok(Some(3.0)));
+        // A late excursion resets the detector.
+        let mut osc = s.clone();
+        osc.push((10.0, 200.0));
+        osc.push((11.0, 100.0));
+        assert_eq!(convergence_time(&osc, 100.0, 0.05), Ok(Some(11.0)));
+        // Never inside the band.
+        assert_eq!(convergence_time(&s, 500.0, 0.01), Ok(None));
+        assert_eq!(convergence_time(&[], 1.0, 0.1), Err(StatsError::Empty));
+    }
+
+    #[test]
+    fn histogram_distance_bounds_and_symmetry() {
+        let a = [(0u64, 50u64), (100, 50)];
+        let same = [(0u64, 5u64), (100, 5)]; // same shape, different count
+        let disjoint = [(1000u64, 7u64)];
+        assert_eq!(histogram_distance(&a, &same), Ok(0.0));
+        assert_eq!(histogram_distance(&a, &disjoint), Ok(1.0));
+        let d1 = histogram_distance(&a, &disjoint).unwrap();
+        let d2 = histogram_distance(&disjoint, &a).unwrap();
+        assert_eq!(d1, d2);
+        assert_eq!(histogram_distance(&a, &[]), Err(StatsError::Empty));
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! Property-based tests for the statistics utilities.
 
 use proptest::prelude::*;
-use rocc_stats::{bin_index, jain_fairness, mean_ci95, percentile, summarize};
+use rocc_stats::{
+    bin_index, convergence_time, histogram_distance, jain_fairness, mean_ci95, percentile,
+    summarize,
+};
 
 proptest! {
     /// Percentile is monotone in q and bounded by min/max.
@@ -77,5 +80,64 @@ proptest! {
         let scaled: Vec<f64> = xs.iter().map(|x| x * k).collect();
         let j2 = jain_fairness(&scaled).unwrap();
         prop_assert!((j - j2).abs() < 1e-6);
+    }
+
+    /// A step series that jumps to the target and stays there converges at
+    /// exactly the step time, for any step position and target.
+    #[test]
+    fn convergence_detects_step(
+        step_at in 1usize..50,
+        tail in 1usize..50,
+        target in 1.0f64..1e9,
+    ) {
+        let series: Vec<(f64, f64)> = (0..step_at + tail)
+            .map(|i| (i as f64, if i < step_at { 0.0 } else { target }))
+            .collect();
+        let t = convergence_time(&series, target, 0.05).unwrap();
+        prop_assert_eq!(t, Some(step_at as f64));
+    }
+
+    /// A series oscillating outside the tolerance band never converges;
+    /// damping it to within the band converges at the first damped sample.
+    #[test]
+    fn convergence_rejects_oscillation(
+        n in 4usize..60,
+        target in 1.0f64..1e6,
+    ) {
+        let osc: Vec<(f64, f64)> = (0..n)
+            .map(|i| (i as f64, if i % 2 == 0 { target * 1.5 } else { target * 0.5 }))
+            .collect();
+        prop_assert_eq!(convergence_time(&osc, target, 0.1).unwrap(), None);
+        let damped: Vec<(f64, f64)> = osc
+            .iter()
+            .map(|&(t, v)| (t, target + (v - target) * 0.01))
+            .collect();
+        prop_assert_eq!(convergence_time(&damped, target, 0.1).unwrap(), Some(0.0));
+    }
+
+    /// Histogram distance is symmetric, bounded to [0, 1], zero on
+    /// identical shapes, and invariant under count scaling.
+    #[test]
+    fn histogram_distance_symmetric_and_bounded(
+        a in proptest::collection::vec((0u64..1000, 1u64..100), 1..20),
+        b in proptest::collection::vec((0u64..1000, 1u64..100), 1..20),
+        k in 2u64..10,
+    ) {
+        // Dedup lower bounds (the API expects one count per bucket bound).
+        let dedup = |v: &[(u64, u64)]| {
+            let mut m = std::collections::BTreeMap::new();
+            for &(lo, c) in v {
+                *m.entry(lo).or_insert(0u64) += c;
+            }
+            m.into_iter().collect::<Vec<_>>()
+        };
+        let (a, b) = (dedup(&a), dedup(&b));
+        let d_ab = histogram_distance(&a, &b).unwrap();
+        let d_ba = histogram_distance(&b, &a).unwrap();
+        prop_assert!((d_ab - d_ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&d_ab));
+        prop_assert!(histogram_distance(&a, &a).unwrap() < 1e-12);
+        let scaled: Vec<(u64, u64)> = a.iter().map(|&(lo, c)| (lo, c * k)).collect();
+        prop_assert!(histogram_distance(&a, &scaled).unwrap() < 1e-9);
     }
 }
