@@ -9,8 +9,10 @@
 //! fig15 fig16 table3 fig17 fig18 fig19 fig20 table1 ablation chaos
 
 use rocc_experiments::fct::{
-    fct_comparison, fold_increase, table3, BufferRegime, SchemeFcts, Workload,
+    fct_comparison_supervised, fold_increase, table3, BufferRegime, SchemeFcts, Workload,
 };
+use rocc_experiments::parallel::ExecMode;
+use rocc_experiments::supervisor::{CampaignReport, Supervisor};
 use rocc_experiments::{analytic, micro, observatory, table1, Scale};
 use rocc_sim::prelude::{write_artifact, Sample};
 
@@ -219,22 +221,27 @@ fn print_fct_table(results: &[SchemeFcts], which: &str) {
     }
 }
 
-fn run_fct(scale: Scale, which: &str, fig: &str) {
+fn run_fct(scale: Scale, which: &str, fig: &str, sup: &Supervisor) -> Vec<CampaignReport> {
     println!("== {fig}: {which} FCT by flow size, 70% load, DCQCN vs HPCC vs RoCC ==");
+    let mut reports = Vec::new();
     for wl in [Workload::WebSearch, Workload::FbHadoop] {
         println!("-- {} --", wl.name());
-        let res = fct_comparison(wl, 0.7, scale, BufferRegime::Pfc);
+        let (res, rep) = fct_comparison_supervised(wl, 0.7, scale, BufferRegime::Pfc, sup);
         print_fct_table(&res, which);
+        reports.push(rep);
     }
+    reports
 }
 
 /// One pass over both workloads printing Figs. 14/15/16 + Table 3 + the
 /// Fig. 17 side data — the efficient path for paper-scale runs.
-fn run_fct_all(scale: Scale) {
+fn run_fct_all(scale: Scale, sup: &Supervisor) -> Vec<CampaignReport> {
     println!("== Figs. 14-16 + Table 3 + Fig. 17, one pass, 70% load ==");
+    let mut reports = Vec::new();
     for wl in [Workload::WebSearch, Workload::FbHadoop] {
         println!("-- {} --", wl.name());
-        let res = fct_comparison(wl, 0.7, scale, BufferRegime::Pfc);
+        let (res, rep) = fct_comparison_supervised(wl, 0.7, scale, BufferRegime::Pfc, sup);
+        reports.push(rep);
         for which in ["avg", "p90", "p99"] {
             print_fct_table(&res, which);
         }
@@ -264,11 +271,12 @@ fn run_fct_all(scale: Scale) {
             }
         }
     }
+    reports
 }
 
-fn run_table3(scale: Scale) {
+fn run_table3(scale: Scale, sup: &Supervisor) -> Vec<CampaignReport> {
     println!("== Table 3: flow-level rate allocation, FB_Hadoop at 70% ==");
-    let res = fct_comparison(Workload::FbHadoop, 0.7, scale, BufferRegime::Pfc);
+    let (res, rep) = fct_comparison_supervised(Workload::FbHadoop, 0.7, scale, BufferRegime::Pfc, sup);
     println!("{:>10} {:>16} {:>16}", "scheme", "avg rate (Mb/s)", "std dev (Mb/s)");
     for row in table3(&res) {
         println!(
@@ -278,11 +286,12 @@ fn run_table3(scale: Scale) {
             row.std_bps / 1e6
         );
     }
+    vec![rep]
 }
 
-fn run_fig17(scale: Scale) {
+fn run_fig17(scale: Scale, sup: &Supervisor) -> Vec<CampaignReport> {
     println!("== Fig. 17: avg queue size & PFC activation by CP class, WebSearch 70% ==");
-    let res = fct_comparison(Workload::WebSearch, 0.7, scale, BufferRegime::Pfc);
+    let (res, rep) = fct_comparison_supervised(Workload::WebSearch, 0.7, scale, BufferRegime::Pfc, sup);
     println!(
         "{:>10} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10}",
         "scheme", "q-core", "q-ingress", "q-egress", "pfc-core", "pfc-ingr", "pfc-egr"
@@ -299,12 +308,20 @@ fn run_fig17(scale: Scale) {
             r.pfc[2]
         );
     }
+    vec![rep]
 }
 
-fn run_fold(scale: Scale, regime: BufferRegime, fig: &str, label: &str) {
+fn run_fold(
+    scale: Scale,
+    regime: BufferRegime,
+    fig: &str,
+    label: &str,
+    sup: &Supervisor,
+) -> Vec<CampaignReport> {
     println!("== {fig}: {label}, FB_Hadoop 70% ==");
-    let base = fct_comparison(Workload::FbHadoop, 0.7, scale, BufferRegime::Pfc);
-    let alt = fct_comparison(Workload::FbHadoop, 0.7, scale, regime);
+    let (base, rep_base) =
+        fct_comparison_supervised(Workload::FbHadoop, 0.7, scale, BufferRegime::Pfc, sup);
+    let (alt, rep_alt) = fct_comparison_supervised(Workload::FbHadoop, 0.7, scale, regime, sup);
     for row in fold_increase(&base, &alt) {
         print!("{:>10}", row.scheme.name());
         for (bin, fct, fold) in &row.bins {
@@ -318,6 +335,7 @@ fn run_fold(scale: Scale, regime: BufferRegime, fig: &str, label: &str) {
             row.drops
         );
     }
+    vec![rep_base, rep_alt]
 }
 
 fn run_fig19(scale: Scale) {
@@ -364,14 +382,15 @@ fn run_ablation() {
     print(&ablation::ablate_cnp_priority(10));
 }
 
-fn run_chaos(scale: Scale) {
+fn run_chaos(scale: Scale, sup: &Supervisor) -> Vec<CampaignReport> {
     use rocc_experiments::chaos;
     println!("== Chaos: RoCC vs DCQCN under CNP loss (finite flows, 40G dumbbell) ==");
     println!(
         "{:>10} {:>9} {:>11} {:>12} {:>12} {:>12} {:>10}",
         "scheme", "cnp-loss", "completed", "mean FCT", "max FCT", "goodput", "cnps-lost"
     );
-    for c in chaos::cnp_loss_sweep(scale) {
+    let (cells, rep) = chaos::cnp_loss_sweep_supervised(scale, sup);
+    for c in cells.iter().flatten() {
         println!(
             "{:>10} {:>8.1}% {:>8}/{:<2} {:>9.3}ms {:>9.3}ms {:>9.2}G/s {:>10}",
             c.scheme.name(),
@@ -424,6 +443,7 @@ fn run_chaos(scale: Scale) {
         }
         println!("{:>12}{}", "", c.verdict_json);
     }
+    vec![rep]
 }
 
 fn run_table1() {
@@ -436,45 +456,114 @@ fn run_table1() {
     }
 }
 
+/// Print campaign reports for failed campaigns to stderr and exit nonzero.
+///
+/// The uniform failure contract for every supervised subcommand: partial
+/// results have already been printed/written, the report JSON names each
+/// failed cell, and the exit status tells CI the campaign degraded.
+fn finish(reports: &[CampaignReport]) {
+    let failed: Vec<&CampaignReport> = reports.iter().filter(|r| !r.all_ok()).collect();
+    if failed.is_empty() {
+        return;
+    }
+    for r in failed {
+        eprintln!("{}", r.to_json());
+    }
+    std::process::exit(1);
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
+    // `--fail-fast` / `--keep-going` may appear anywhere; last one wins.
+    // Default is keep-going: run every cell, report failures at the end.
+    let mut fail_fast = false;
+    args.retain(|a| match a.as_str() {
+        "--fail-fast" => {
+            fail_fast = true;
+            false
+        }
+        "--keep-going" => {
+            fail_fast = false;
+            false
+        }
+        _ => true,
+    });
     let exp = args.get(1).map(String::as_str).unwrap_or("help");
     let scale = args
         .get(2)
         .and_then(|s| Scale::parse(s))
         .unwrap_or(Scale::Quick);
+    let sup = Supervisor::new(ExecMode::Parallel).with_fail_fast(fail_fast);
     let all = [
         "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig11", "fig12a", "fig12b",
         "fig13", "fig14", "fig15", "fig16", "table3", "fig17", "fig18", "fig19", "fig20",
         "ablation", "chaos",
     ];
-    let run_one = |name: &str| match name {
-        "fig5" => run_fig5(),
-        "fig6" => run_fig6(),
-        "fig7" => run_fig7(),
-        "fig8" => run_fig8(scale),
-        "fig9" => run_fig9(scale),
-        "fig11" => run_fig11(scale),
-        "fig12a" => run_fig12a(scale),
-        "fig12b" => run_fig12b(scale),
-        "fig13" => run_fig13(scale),
-        "fct" => run_fct_all(scale),
-        "fig14" => run_fct(scale, "avg", "Fig. 14"),
-        "fig15" => run_fct(scale, "p90", "Fig. 15"),
-        "fig16" => run_fct(scale, "p99", "Fig. 16"),
-        "table3" => run_table3(scale),
-        "fig17" => run_fig17(scale),
+    let run_one = |name: &str| -> Vec<CampaignReport> {
+        match name {
+        "fig5" => {
+            run_fig5();
+            Vec::new()
+        }
+        "fig6" => {
+            run_fig6();
+            Vec::new()
+        }
+        "fig7" => {
+            run_fig7();
+            Vec::new()
+        }
+        "fig8" => {
+            run_fig8(scale);
+            Vec::new()
+        }
+        "fig9" => {
+            run_fig9(scale);
+            Vec::new()
+        }
+        "fig11" => {
+            run_fig11(scale);
+            Vec::new()
+        }
+        "fig12a" => {
+            run_fig12a(scale);
+            Vec::new()
+        }
+        "fig12b" => {
+            run_fig12b(scale);
+            Vec::new()
+        }
+        "fig13" => {
+            run_fig13(scale);
+            Vec::new()
+        }
+        "fct" => run_fct_all(scale, &sup),
+        "fig14" => run_fct(scale, "avg", "Fig. 14", &sup),
+        "fig15" => run_fct(scale, "p90", "Fig. 15", &sup),
+        "fig16" => run_fct(scale, "p99", "Fig. 16", &sup),
+        "table3" => run_table3(scale, &sup),
+        "fig17" => run_fig17(scale, &sup),
         "fig18" => run_fold(
             scale,
             BufferRegime::Unlimited,
             "Fig. 18",
             "PFC off + unlimited buffer",
+            &sup,
         ),
-        "fig19" => run_fig19(scale),
-        "fig20" => run_fold(scale, BufferRegime::Lossy3x, "Fig. 20", "lossy + go-back-N"),
-        "table1" => run_table1(),
-        "ablation" => run_ablation(),
-        "chaos" => run_chaos(scale),
+        "fig19" => {
+            run_fig19(scale);
+            Vec::new()
+        }
+        "fig20" => run_fold(scale, BufferRegime::Lossy3x, "Fig. 20", "lossy + go-back-N", &sup),
+        "table1" => {
+            run_table1();
+            Vec::new()
+        }
+        "ablation" => {
+            run_ablation();
+            Vec::new()
+        }
+        "chaos" => run_chaos(scale, &sup),
         "probe" => {
             // Hidden: one paper-scale fat-tree run, for timing/feasibility.
             use rocc_experiments::fct::{run_fat_tree, FatTreeConfig};
@@ -495,11 +584,13 @@ fn main() {
                 out.all_completed,
                 t0.elapsed()
             );
+            Vec::new()
         }
         other => {
             eprintln!("unknown experiment: {other}");
             eprintln!("experiments: {}", all.join(" "));
             std::process::exit(2);
+        }
         }
     };
     match exp {
@@ -589,6 +680,52 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+            if !run.verdict.is_complete() {
+                eprintln!("{}", run.verdict.to_json());
+                std::process::exit(1);
+            }
+        }
+        "sweep" => {
+            let scenario = args.get(2).map(String::as_str).unwrap_or("incast");
+            let dir = args.get(3).map(String::as_str).unwrap_or("sweep_out");
+            let scale = args
+                .get(4)
+                .and_then(|s| Scale::parse(s))
+                .unwrap_or(Scale::Quick);
+            let nseeds: u64 = args.get(5).and_then(|s| s.parse().ok()).unwrap_or(4);
+            let mode = args
+                .get(6)
+                .and_then(|s| ExecMode::parse(s))
+                .unwrap_or(ExecMode::Parallel);
+            let seeds: Vec<u64> =
+                (0..nseeds).map(|i| observatory::GOLDEN_SEED + i).collect();
+            let journal = format!("{dir}/checkpoint.jsonl");
+            let sweep_sup = Supervisor::new(mode)
+                .with_fail_fast(fail_fast)
+                .with_journal(&journal);
+            let Some(out) = observatory::sweep(scenario, scale, &seeds, &sweep_sup) else {
+                eprintln!("unknown sweep scenario: {scenario}");
+                eprintln!("scenarios: {}", observatory::SCENARIOS.join(" "));
+                std::process::exit(2);
+            };
+            let rep = &out.report;
+            println!(
+                "{scenario}: {} cells ({} ok, {} cached from {journal})",
+                rep.total, rep.ok, rep.cached
+            );
+            let writes = [
+                (format!("{dir}/aggregate.json"), out.aggregate_json()),
+                (format!("{dir}/failure_report.json"), rep.to_json() + "\n"),
+                (format!("{dir}/quarantine.json"), rep.quarantine_json() + "\n"),
+            ];
+            for (path, doc) in &writes {
+                if let Err(e) = write_artifact(path, doc) {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+                println!("  wrote {path}");
+            }
+            finish(std::slice::from_ref(rep));
         }
         "compare" => {
             let (Some(a), Some(b)) = (args.get(2), args.get(3)) else {
@@ -657,18 +794,23 @@ fn main() {
             }
         }
         "all" => {
+            let mut reports = Vec::new();
             for name in all {
-                run_one(name);
+                reports.extend(run_one(name));
                 println!();
             }
+            finish(&reports);
         }
         "help" | "--help" | "-h" => {
-            println!("usage: repro <experiment|all> [quick|paper]");
+            println!("usage: repro <experiment|all> [quick|paper] [--fail-fast|--keep-going]");
             println!("       repro dump <dir> [quick|paper]   (plot-ready CSVs)");
             println!("       repro trace <scenario|all> [dir] [quick|paper]   (telemetry timeline + BENCH_sim.json)");
             println!("       repro observe <scenario> [dir] [quick|paper] [seed]   (metrics JSONL + Perfetto trace + manifest)");
+            println!("       repro sweep <scenario> [dir] [quick|paper] [nseeds] [serial|parallel]   (checkpointed multi-seed campaign, resumable)");
             println!("       repro compare <runA> <runB>   (cross-run fidelity gate)");
             println!("       repro golden [check|write] [path]   (pinned-run digest gate)");
+            println!("supervised subcommands exit nonzero with a campaign-report JSON on any cell failure;");
+            println!("--fail-fast stops scheduling new cells after the first failure (default: --keep-going)");
             println!("experiments: {}", all.join(" "));
             println!(
                 "trace scenarios: {}",
@@ -679,6 +821,6 @@ fn main() {
                 observatory::SCENARIOS.join(" ")
             );
         }
-        name => run_one(name),
+        name => finish(&run_one(name)),
     }
 }

@@ -16,8 +16,11 @@
 //!   experiment records the RP rate trajectory back to line rate.
 
 use crate::micro::{self, tail_stats};
+use crate::observatory::digest;
+use crate::parallel::ExecMode;
 use crate::scenarios;
 use crate::schemes::Scheme;
+use crate::supervisor::{CampaignReport, NoCache, Supervisor};
 use crate::Scale;
 use rocc_sim::prelude::*;
 
@@ -46,67 +49,124 @@ pub struct ChaosCell {
     pub ctrl_lost: u64,
 }
 
+/// The simulator config one CNP-loss cell runs (shared with the journal
+/// key so the key hashes exactly what the cell sees).
+fn cnp_loss_sim_config(loss: f64) -> SimConfig {
+    SimConfig {
+        fault_plan: FaultPlan::default().with_loss(FaultTarget::Cnp, loss),
+        ..SimConfig::default()
+    }
+}
+
+/// One `(scheme, loss)` cell of the CNP-loss sweep. Incompletions within
+/// the horizon are the *data* of this experiment, so a deadline verdict
+/// still measures; only the runtime budget guards (runaway/livelocked
+/// cell) fail it.
+fn cnp_loss_cell(
+    scheme: Scheme,
+    loss: f64,
+    n: usize,
+    size: u64,
+    horizon: SimTime,
+) -> Result<ChaosCell, SimError> {
+    let d = scenarios::dumbbell(n, BitRate::from_gbps(40));
+    let mut sim = micro::sim_with(d.topo, scheme, 7, cnp_loss_sim_config(loss));
+    for (i, &s) in d.senders.iter().enumerate() {
+        sim.add_flow(FlowSpec {
+            id: FlowId(i as u64),
+            src: s,
+            dst: d.receiver,
+            size,
+            start: SimTime::ZERO,
+            offered: None,
+        });
+    }
+    let verdict = sim.run_until_flows_done(horizon);
+    if let Some(e) = verdict.err() {
+        if e.is_budget() {
+            return Err(e.clone());
+        }
+    }
+    let fcts: Vec<f64> = sim
+        .trace
+        .fcts
+        .iter()
+        .map(|r| r.fct().as_secs_f64())
+        .collect();
+    let completed = fcts.len();
+    let mean = if completed > 0 {
+        fcts.iter().sum::<f64>() / completed as f64
+    } else {
+        0.0
+    };
+    let max = fcts.iter().cloned().fold(0.0, f64::max);
+    let goodput = if mean > 0.0 {
+        fcts.iter().map(|f| size as f64 * 8.0 / f).sum::<f64>() / completed as f64
+    } else {
+        0.0
+    };
+    Ok(ChaosCell {
+        scheme,
+        cnp_loss: loss,
+        flows: n,
+        completed,
+        mean_fct_ms: mean * 1e3,
+        max_fct_ms: max * 1e3,
+        mean_goodput_bps: goodput,
+        ctrl_lost: sim.trace.faults.ctrl_lost,
+    })
+}
+
 /// RoCC vs DCQCN on the N-sender 40G dumbbell while CNPs are dropped
 /// uniformly at random with each probability in [`CNP_LOSS_GRID`]. Every
 /// sender ships one finite flow; the run ends when all complete or the
 /// horizon expires. Data packets are never touched, so FCT inflation and
 /// incompletions are attributable to the damaged feedback loop alone.
+///
+/// Runs under a default keep-going supervisor; failed cells (budget
+/// guards, panics) are dropped from the returned grid. Callers that need
+/// the failure detail use [`cnp_loss_sweep_supervised`].
 pub fn cnp_loss_sweep(scale: Scale) -> Vec<ChaosCell> {
+    cnp_loss_sweep_supervised(scale, &Supervisor::new(ExecMode::Parallel))
+        .0
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// [`cnp_loss_sweep`] under an explicit [`Supervisor`]: per-cell panic
+/// isolation and typed outcomes; the grid comes back in input order with
+/// failed cells as `None`, plus the campaign report.
+pub fn cnp_loss_sweep_supervised(
+    scale: Scale,
+    sup: &Supervisor,
+) -> (Vec<Option<ChaosCell>>, CampaignReport) {
     let (n, size, horizon) = match scale {
         Scale::Quick => (8usize, 2_000_000u64, SimTime::from_millis(200)),
         Scale::Paper => (16, 10_000_000, SimTime::from_millis(1000)),
     };
-    let mut out = Vec::new();
-    for scheme in [Scheme::Rocc, Scheme::Dcqcn] {
-        for &loss in &CNP_LOSS_GRID {
-            let d = scenarios::dumbbell(n, BitRate::from_gbps(40));
-            let cfg = SimConfig {
-                fault_plan: FaultPlan::default().with_loss(FaultTarget::Cnp, loss),
-                ..SimConfig::default()
-            };
-            let mut sim = micro::sim_with(d.topo, scheme, 7, cfg);
-            for (i, &s) in d.senders.iter().enumerate() {
-                sim.add_flow(FlowSpec {
-                    id: FlowId(i as u64),
-                    src: s,
-                    dst: d.receiver,
-                    size,
-                    start: SimTime::ZERO,
-                    offered: None,
-                });
-            }
-            let _ = sim.run_until_flows_done(horizon);
-            let fcts: Vec<f64> = sim
-                .trace
-                .fcts
-                .iter()
-                .map(|r| r.fct().as_secs_f64())
-                .collect();
-            let completed = fcts.len();
-            let mean = if completed > 0 {
-                fcts.iter().sum::<f64>() / completed as f64
-            } else {
-                0.0
-            };
-            let max = fcts.iter().cloned().fold(0.0, f64::max);
-            let goodput = if mean > 0.0 {
-                fcts.iter().map(|f| size as f64 * 8.0 / f).sum::<f64>() / completed as f64
-            } else {
-                0.0
-            };
-            out.push(ChaosCell {
-                scheme,
-                cnp_loss: loss,
-                flows: n,
-                completed,
-                mean_fct_ms: mean * 1e3,
-                max_fct_ms: max * 1e3,
-                mean_goodput_bps: goodput,
-                ctrl_lost: sim.trace.faults.ctrl_lost,
-            });
-        }
-    }
-    out
+    let cells: Vec<(String, (Scheme, f64))> = [Scheme::Rocc, Scheme::Dcqcn]
+        .iter()
+        .flat_map(|&scheme| CNP_LOSS_GRID.iter().map(move |&loss| (scheme, loss)))
+        .map(|(scheme, loss)| {
+            let hash = digest(&format!(
+                "{:?}",
+                SimConfig {
+                    seed: 0,
+                    ..cnp_loss_sim_config(loss)
+                }
+            ));
+            (
+                format!("chaos/cnp_loss/{}/p{:?}/{}", scheme.name(), loss, hash),
+                (scheme, loss),
+            )
+        })
+        .collect();
+    let campaign = sup.run(cells, &NoCache, |&(scheme, loss)| {
+        cnp_loss_cell(scheme, loss, n, size, horizon)
+    });
+    let report = campaign.report();
+    (campaign.into_results(), report)
 }
 
 /// Output of [`cnp_blackout`].

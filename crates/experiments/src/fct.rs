@@ -5,9 +5,11 @@
 //! go-back-N study (Fig. 20).
 
 use crate::micro::sim_with;
-use crate::parallel::{self, ExecMode};
+use crate::observatory::digest;
+use crate::parallel::ExecMode;
 use crate::scenarios::{self, FatTree};
 use crate::schemes::Scheme;
+use crate::supervisor::{CampaignReport, FnCodec, Supervisor};
 use crate::Scale;
 use rocc_sim::prelude::*;
 use rocc_stats::{bin_values, mean_ci95, percentile, MeanCi};
@@ -119,6 +121,88 @@ pub struct RunOutput {
     pub all_completed: bool,
 }
 
+impl RunOutput {
+    /// Canonical single-line JSON rendering for the checkpoint journal.
+    /// Floats use Rust's shortest-roundtrip formatting, so
+    /// [`RunOutput::from_json`] reconstructs bit-identical values and a
+    /// journal-replayed cell aggregates byte-identically to a fresh run.
+    pub fn to_json(&self) -> String {
+        let fcts: Vec<String> = self
+            .fcts
+            .iter()
+            .map(|&(size, fct)| format!("[{size},{fct:?}]"))
+            .collect();
+        format!(
+            "{{\"fcts\":[{}],\"pfc\":[{},{},{}],\"q\":[{:?},{:?},{:?}],\
+             \"retx_bytes\":{},\"tx_data_bytes\":{},\"drops\":{},\
+             \"offered_flows\":{},\"all_completed\":{}}}",
+            fcts.join(","),
+            self.pfc_core,
+            self.pfc_ingress,
+            self.pfc_egress,
+            self.q_core,
+            self.q_ingress,
+            self.q_egress,
+            self.retx_bytes,
+            self.tx_data_bytes,
+            self.drops,
+            self.offered_flows,
+            self.all_completed
+        )
+    }
+
+    /// Strict parse of [`RunOutput::to_json`] output. Any anomaly (torn
+    /// journal line, schema drift) yields `None`, which makes the
+    /// supervisor re-run the cell — always safe.
+    pub fn from_json(s: &str) -> Option<RunOutput> {
+        fn between<'a>(s: &'a str, start: &str, end: &str) -> Option<&'a str> {
+            let i = s.find(start)? + start.len();
+            let j = s[i..].find(end)? + i;
+            Some(&s[i..j])
+        }
+        let fcts_raw = between(s, "\"fcts\":[", "],\"pfc\":[")?;
+        let mut fcts = Vec::new();
+        if !fcts_raw.is_empty() {
+            for pair in fcts_raw.split("],[") {
+                let pair = pair.trim_start_matches('[').trim_end_matches(']');
+                let (a, b) = pair.split_once(',')?;
+                fcts.push((a.parse().ok()?, b.parse().ok()?));
+            }
+        }
+        let pfc: Vec<u64> = between(s, "\"pfc\":[", "],\"q\":[")?
+            .split(',')
+            .map(|v| v.parse().ok())
+            .collect::<Option<_>>()?;
+        let q: Vec<f64> = between(s, "\"q\":[", "],\"retx_bytes\":")?
+            .split(',')
+            .map(|v| v.parse().ok())
+            .collect::<Option<_>>()?;
+        if pfc.len() != 3 || q.len() != 3 {
+            return None;
+        }
+        Some(RunOutput {
+            fcts,
+            pfc_core: pfc[0],
+            pfc_ingress: pfc[1],
+            pfc_egress: pfc[2],
+            q_core: q[0],
+            q_ingress: q[1],
+            q_egress: q[2],
+            retx_bytes: between(s, "\"retx_bytes\":", ",\"tx_data_bytes\":")?.parse().ok()?,
+            tx_data_bytes: between(s, "\"tx_data_bytes\":", ",\"drops\":")?.parse().ok()?,
+            drops: between(s, "\"drops\":", ",\"offered_flows\":")?.parse().ok()?,
+            offered_flows: between(s, "\"offered_flows\":", ",\"all_completed\":")?
+                .parse()
+                .ok()?,
+            all_completed: match between(s, "\"all_completed\":", "}")? {
+                "true" => true,
+                "false" => false,
+                _ => return None,
+            },
+        })
+    }
+}
+
 fn class_avg(trace: &Trace, ports: &[(NodeId, PortId)]) -> f64 {
     let vals: Vec<f64> = ports
         .iter()
@@ -131,16 +215,10 @@ fn class_avg(trace: &Trace, ports: &[(NodeId, PortId)]) -> f64 {
     }
 }
 
-/// Run one fat-tree experiment instance.
-pub fn run_fat_tree(
-    scheme: Scheme,
-    workload: Workload,
-    load: f64,
-    cfg: &FatTreeConfig,
-    regime: BufferRegime,
-    seed: u64,
-) -> RunOutput {
-    let ft: FatTree = scenarios::fat_tree(cfg.hosts_per_edge, cfg.trunks);
+/// The simulator config a fat-tree run uses for `regime` at `seed` —
+/// shared by [`run_fat_tree_verdict`] and [`fct_cell_key`] so the journal
+/// key hashes exactly the config the cell runs.
+pub fn fat_tree_sim_config(regime: BufferRegime, seed: u64) -> SimConfig {
     let mut sim_cfg = SimConfig {
         seed,
         ..SimConfig::default()
@@ -159,6 +237,35 @@ pub fn run_fat_tree(
             limit_bytes: 3 * sim_cfg.pfc.xoff_40g,
         },
     };
+    sim_cfg
+}
+
+/// Run one fat-tree experiment instance, discarding the typed verdict
+/// (kept for callers that only consume the measurements; the supervised
+/// grid uses [`run_fat_tree_verdict`]).
+pub fn run_fat_tree(
+    scheme: Scheme,
+    workload: Workload,
+    load: f64,
+    cfg: &FatTreeConfig,
+    regime: BufferRegime,
+    seed: u64,
+) -> RunOutput {
+    run_fat_tree_verdict(scheme, workload, load, cfg, regime, seed).0
+}
+
+/// Run one fat-tree experiment instance and return both the measurements
+/// and the run's typed verdict.
+pub fn run_fat_tree_verdict(
+    scheme: Scheme,
+    workload: Workload,
+    load: f64,
+    cfg: &FatTreeConfig,
+    regime: BufferRegime,
+    seed: u64,
+) -> (RunOutput, RunVerdict) {
+    let ft: FatTree = scenarios::fat_tree(cfg.hosts_per_edge, cfg.trunks);
+    let sim_cfg = fat_tree_sim_config(regime, seed);
     // Fat-tree base RTT: 4 links × 1.5 µs each way + serialization ≈ 13 µs.
     let mut sim = sim_with(ft.topo.clone(), scheme, 13, sim_cfg);
     sim.trace.sample_period = Some(SimDuration::from_micros(200));
@@ -200,9 +307,8 @@ pub fn run_fat_tree(
             offered: None,
         });
     }
-    let all_completed = sim
-        .run_until_flows_done(SimTime::ZERO + cfg.window + cfg.max_drain)
-        .is_complete();
+    let verdict = sim.run_until_flows_done(SimTime::ZERO + cfg.window + cfg.max_drain);
+    let all_completed = verdict.is_complete();
 
     // Classify PFC events by the switch that generated the pause.
     let is_core = |n: NodeId| ft.cores.contains(&n);
@@ -217,7 +323,7 @@ pub fn run_fat_tree(
             pfc_ingress += 1;
         }
     }
-    RunOutput {
+    let out = RunOutput {
         fcts: sim
             .trace
             .fcts
@@ -235,7 +341,8 @@ pub fn run_fat_tree(
         drops: sim.trace.drops,
         offered_flows,
         all_completed,
-    }
+    };
+    (out, verdict)
 }
 
 /// FCT statistics for one flow-size bin, aggregated over repetitions.
@@ -330,6 +437,18 @@ pub fn aggregate_outputs(
     workload: Workload,
     cfg: &FatTreeConfig,
     outputs: &[RunOutput],
+) -> SchemeFcts {
+    let refs: Vec<&RunOutput> = outputs.iter().collect();
+    aggregate_outputs_ref(scheme, workload, cfg, &refs)
+}
+
+/// The by-reference core of [`aggregate_outputs`] — the supervised grid
+/// aggregates the surviving subset of cells without cloning them.
+fn aggregate_outputs_ref(
+    scheme: Scheme,
+    workload: Workload,
+    cfg: &FatTreeConfig,
+    outputs: &[&RunOutput],
 ) -> SchemeFcts {
     let edges = workload.dist().report_bins();
     let mut per_rep_avg: Vec<Vec<f64>> = vec![Vec::new(); edges.len()];
@@ -429,6 +548,35 @@ pub fn scheme_fcts(
     aggregate_outputs(scheme, workload, cfg, &outputs)
 }
 
+/// Journal key for one `(scheme, rep)` fat-tree cell: the seed-zeroed
+/// simulator-config digest (the observatory's config-hash idiom) extended
+/// with a digest of the experiment dimensions, plus a human-readable
+/// suffix naming the cell.
+pub fn fct_cell_key(
+    scheme: Scheme,
+    workload: Workload,
+    load: f64,
+    cfg: &FatTreeConfig,
+    regime: BufferRegime,
+    rep: usize,
+) -> String {
+    let sim_hash = digest(&format!("{:?}", fat_tree_sim_config(regime, 0)));
+    let dims_hash = digest(&format!("{cfg:?}|load={load:?}"));
+    format!(
+        "fct/{}/{}/{}/rep{}/{}{}",
+        scheme.name(),
+        workload.name(),
+        match regime {
+            BufferRegime::Pfc => "pfc",
+            BufferRegime::Unlimited => "unlimited",
+            BufferRegime::Lossy3x => "lossy3x",
+        },
+        rep,
+        sim_hash,
+        dims_hash
+    )
+}
+
 /// Figs. 14–16: the DCQCN / HPCC / RoCC FCT comparison on one workload at
 /// one load level (the avg, p90 and p99 views come from the same runs).
 ///
@@ -456,9 +604,26 @@ pub fn fct_comparison_with(
     fct_grid(workload, load, &FatTreeConfig::for_scale(scale), regime, mode)
 }
 
+/// [`fct_comparison`] under an explicit [`Supervisor`]: the grid runs
+/// with panic isolation and typed outcomes, failed cells degrade the
+/// aggregates gracefully instead of aborting the sweep, and the report
+/// carries the failure detail for the CLI's exit-code decision.
+pub fn fct_comparison_supervised(
+    workload: Workload,
+    load: f64,
+    scale: Scale,
+    regime: BufferRegime,
+    sup: &Supervisor,
+) -> (Vec<SchemeFcts>, CampaignReport) {
+    fct_grid_supervised(workload, load, &FatTreeConfig::for_scale(scale), regime, sup)
+}
+
 /// The full `scheme × repetition` grid at an explicit config — the
 /// common core of the scale-based entry points and the determinism
-/// suite (which wants a miniature config).
+/// suite (which wants a miniature config). Runs under a default
+/// keep-going supervisor; when every cell succeeds (the overwhelmingly
+/// common case) the output is bit-identical to the pre-supervisor
+/// serial loop.
 pub fn fct_grid(
     workload: Workload,
     load: f64,
@@ -466,19 +631,69 @@ pub fn fct_grid(
     regime: BufferRegime,
     mode: ExecMode,
 ) -> Vec<SchemeFcts> {
+    fct_grid_supervised(workload, load, cfg, regime, &Supervisor::new(mode)).0
+}
+
+/// [`fct_grid`] under an explicit [`Supervisor`]. Cells cut off by a
+/// runtime budget guard or failing with a protocol verdict are excluded
+/// from their scheme's aggregate (partial results) and recorded in the
+/// campaign report; a scheme whose cells all failed still yields a row,
+/// with empty statistics and `all_completed == false`.
+pub fn fct_grid_supervised(
+    workload: Workload,
+    load: f64,
+    cfg: &FatTreeConfig,
+    regime: BufferRegime,
+    sup: &Supervisor,
+) -> (Vec<SchemeFcts>, CampaignReport) {
     let schemes = Scheme::large_scale_set();
     // Scheme-major grid of independent cells; cell (si, rep) is one run.
-    let cells: Vec<(usize, usize)> = (0..schemes.len())
-        .flat_map(|si| (0..cfg.reps).map(move |rep| (si, rep)))
+    let cells: Vec<(String, (usize, usize))> = (0..schemes.len())
+        .flat_map(|si| {
+            (0..cfg.reps).map(move |rep| (si, rep))
+        })
+        .map(|(si, rep)| {
+            (
+                fct_cell_key(schemes[si], workload, load, cfg, regime, rep),
+                (si, rep),
+            )
+        })
         .collect();
-    let outputs = parallel::map_cells(mode, cells, |(si, rep)| {
-        run_fat_tree(schemes[si], workload, load, cfg, regime, rep_seed(rep))
+    let codec = FnCodec(RunOutput::to_json, RunOutput::from_json);
+    let campaign = sup.run(cells, &codec, |&(si, rep)| {
+        let (out, verdict) = run_fat_tree_verdict(
+            schemes[si],
+            workload,
+            load,
+            cfg,
+            regime,
+            rep_seed(rep),
+        );
+        match verdict.err() {
+            // Budget guards mean the cell itself was runaway: no usable
+            // measurement. Protocol-level verdicts (e.g. a deadline with
+            // flows outstanding) still measured something — the paper's
+            // FCT figures *want* those partial runs, flagged through
+            // `all_completed` — so only budget failures fail the cell.
+            Some(e) if e.is_budget() => Err(e.clone()),
+            _ => Ok(out),
+        }
     });
-    schemes
+    let report = campaign.report();
+    let results = campaign.into_results();
+    let rows = schemes
         .iter()
-        .zip(outputs.chunks(cfg.reps))
-        .map(|(&scheme, outs)| aggregate_outputs(scheme, workload, cfg, outs))
-        .collect()
+        .zip(results.chunks(cfg.reps))
+        .map(|(&scheme, outs)| {
+            let ok: Vec<&RunOutput> = outs.iter().flatten().collect();
+            let mut row = aggregate_outputs_ref(scheme, workload, cfg, &ok);
+            // A dropped cell means the sweep is incomplete even if every
+            // surviving rep drained cleanly.
+            row.all_completed &= ok.len() == outs.len();
+            row
+        })
+        .collect();
+    (rows, report)
 }
 
 /// Table 3 row: flow-level rate allocation.
@@ -598,6 +813,68 @@ mod tests {
         // RoCC keeps queues near Qref, far below 1.5 MB: expect no drops.
         assert!(out.all_completed);
         assert_eq!(out.drops, 0);
+    }
+
+    #[test]
+    fn run_output_json_roundtrip_is_exact() {
+        let out = run_fat_tree(
+            Scheme::Rocc,
+            Workload::FbHadoop,
+            0.5,
+            &tiny(),
+            BufferRegime::Pfc,
+            7,
+        );
+        assert!(!out.fcts.is_empty());
+        let json = out.to_json();
+        let back = RunOutput::from_json(&json).expect("roundtrip parse");
+        assert_eq!(back.to_json(), json, "re-encode must be byte-identical");
+        assert_eq!(back.fcts, out.fcts);
+        // A torn journal value must be rejected, not half-parsed.
+        assert!(RunOutput::from_json(&json[..json.len() - 3]).is_none());
+        assert!(RunOutput::from_json("{}").is_none());
+    }
+
+    #[test]
+    fn cell_keys_name_cells_uniquely() {
+        let cfg = tiny();
+        let base = fct_cell_key(
+            Scheme::Rocc,
+            Workload::FbHadoop,
+            0.5,
+            &cfg,
+            BufferRegime::Pfc,
+            0,
+        );
+        for (other, why) in [
+            (
+                fct_cell_key(Scheme::Rocc, Workload::FbHadoop, 0.5, &cfg, BufferRegime::Pfc, 1),
+                "rep",
+            ),
+            (
+                fct_cell_key(Scheme::Dcqcn, Workload::FbHadoop, 0.5, &cfg, BufferRegime::Pfc, 0),
+                "scheme",
+            ),
+            (
+                fct_cell_key(Scheme::Rocc, Workload::WebSearch, 0.5, &cfg, BufferRegime::Pfc, 0),
+                "workload",
+            ),
+            (
+                fct_cell_key(Scheme::Rocc, Workload::FbHadoop, 0.7, &cfg, BufferRegime::Pfc, 0),
+                "load",
+            ),
+            (
+                fct_cell_key(Scheme::Rocc, Workload::FbHadoop, 0.5, &cfg, BufferRegime::Lossy3x, 0),
+                "regime",
+            ),
+        ] {
+            assert_ne!(base, other, "key must separate cells by {why}");
+        }
+        // Same cell → same key (the resume identity).
+        assert_eq!(
+            base,
+            fct_cell_key(Scheme::Rocc, Workload::FbHadoop, 0.5, &cfg, BufferRegime::Pfc, 0)
+        );
     }
 
     #[test]

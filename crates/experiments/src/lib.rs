@@ -31,6 +31,11 @@
 //! with the structured telemetry layer enabled, exporting the typed
 //! event timeline, the metrics registry, and simulator self-profiling
 //! (`repro trace <scenario>`).
+//!
+//! Grid-shaped experiments run under the [`supervisor`]: every cell is
+//! panic-isolated, classified into a typed outcome, retried when
+//! transient, quarantined when not, and — with a checkpoint journal
+//! attached — resumable after a crash with byte-identical aggregates.
 
 #![warn(missing_docs)]
 
@@ -44,6 +49,7 @@ pub mod observatory;
 pub mod parallel;
 pub mod scenarios;
 pub mod schemes;
+pub mod supervisor;
 pub mod table1;
 pub mod trace;
 

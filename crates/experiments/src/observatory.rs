@@ -27,6 +27,7 @@
 use crate::micro;
 use crate::scenarios;
 use crate::schemes::Scheme;
+use crate::supervisor::{CampaignReport, FnCodec, Supervisor};
 use crate::Scale;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -60,6 +61,9 @@ pub struct ObserveRun {
     /// `Debug` rendering of the config with the seed zeroed — the input
     /// to the manifest's config hash.
     pub config_debug: String,
+    /// The run's typed verdict (campaign drivers classify failures from
+    /// it; the manifest embeds its JSON form).
+    pub verdict: RunVerdict,
 }
 
 impl ObserveRun {
@@ -73,7 +77,7 @@ impl ObserveRun {
                 "\"flows\":{},\"completed\":{},",
                 "\"config_hash\":\"{}\",\"git_rev\":\"{}\",",
                 "\"metrics_digest\":\"{}\",\"perfetto_digest\":\"{}\",",
-                "\"fidelity\":{}}}"
+                "\"verdict\":{},\"fidelity\":{}}}"
             ),
             self.scenario,
             self.seed,
@@ -84,6 +88,7 @@ impl ObserveRun {
             git_rev(),
             digest(&self.metrics_jsonl),
             digest(&self.perfetto_json),
+            self.verdict.to_json(),
             fid.to_json(),
         )
     }
@@ -131,6 +136,23 @@ pub fn observe(scenario: &str, scale: Scale, seed: u64) -> Option<ObserveRun> {
     }
 }
 
+/// The seed-zeroed simulator config a scenario runs, rendered with
+/// `Debug` — the input to the manifest's config hash and to sweep
+/// journal keys (computable without running the scenario). `None` for an
+/// unknown scenario name.
+pub fn scenario_config_debug(scenario: &str) -> Option<String> {
+    match scenario {
+        "incast" => Some(format!(
+            "{:?}",
+            SimConfig {
+                seed: 0,
+                ..SimConfig::default()
+            }
+        )),
+        _ => None,
+    }
+}
+
 /// N-to-1 RoCC incast on the 40G dumbbell, observed: bottleneck queue and
 /// every flow watched, 10 µs sampling, full event telemetry for the
 /// Perfetto export. Start times carry a small seed-derived jitter so
@@ -146,13 +168,8 @@ pub fn incast(scale: Scale, seed: u64) -> ObserveRun {
         seed,
         ..SimConfig::default()
     };
-    let config_debug = format!(
-        "{:?}",
-        SimConfig {
-            seed: 0,
-            ..cfg.clone()
-        }
-    );
+    let config_debug =
+        scenario_config_debug("incast").expect("incast is a known scenario");
     let mut sim = micro::sim_with(d.topo, Scheme::Rocc, 7, cfg);
     sim.trace.telemetry.collect(EventMask::ALL);
     sim.trace.observatory.enable();
@@ -170,7 +187,7 @@ pub fn incast(scale: Scale, seed: u64) -> ObserveRun {
             offered: None,
         });
     }
-    let _ = sim.run_until_flows_done(horizon);
+    let verdict = sim.run_until_flows_done(horizon);
     ObserveRun {
         scenario: "incast",
         seed,
@@ -180,7 +197,155 @@ pub fn incast(scale: Scale, seed: u64) -> ObserveRun {
         metrics_jsonl: sim.trace.observatory.to_jsonl(),
         perfetto_json: export_chrome_trace(&sim),
         config_debug,
+        verdict,
     }
+}
+
+// ---------------------------------------------------------------------------
+// Resumable multi-seed sweeps (`repro sweep`)
+
+/// The compact per-seed record a sweep campaign aggregates — everything
+/// needed to prove two campaigns observed the same runs, without storing
+/// the runs themselves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepCellSummary {
+    /// Simulation seed.
+    pub seed: u64,
+    /// Flows offered.
+    pub flows: u64,
+    /// Flows completed within the horizon.
+    pub completed: u64,
+    /// Digest of the run's metrics JSONL.
+    pub metrics_digest: String,
+    /// Seed-zeroed config hash (shared by every cell of the sweep).
+    pub config_hash: String,
+}
+
+impl SweepCellSummary {
+    /// Reduce a finished observed run to its sweep summary.
+    pub fn from_run(run: &ObserveRun) -> SweepCellSummary {
+        SweepCellSummary {
+            seed: run.seed,
+            flows: run.flows as u64,
+            completed: run.completed as u64,
+            metrics_digest: digest(&run.metrics_jsonl),
+            config_hash: digest(&run.config_debug),
+        }
+    }
+
+    /// Canonical single-line JSON rendering (journal codec + aggregate
+    /// rows). Byte-determinism of the sweep aggregate rests on this.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"seed\":{},\"flows\":{},\"completed\":{},\
+             \"metrics_digest\":\"{}\",\"config_hash\":\"{}\"}}",
+            self.seed, self.flows, self.completed, self.metrics_digest, self.config_hash
+        )
+    }
+
+    /// Strict parse of [`SweepCellSummary::to_json`]; `None` on any
+    /// anomaly (the supervisor then re-runs the cell).
+    pub fn from_json(s: &str) -> Option<SweepCellSummary> {
+        fn between<'a>(s: &'a str, start: &str, end: &str) -> Option<&'a str> {
+            let i = s.find(start)? + start.len();
+            let j = s[i..].find(end)? + i;
+            Some(&s[i..j])
+        }
+        let metrics_digest =
+            between(s, "\"metrics_digest\":\"", "\"")?.to_string();
+        let config_hash = between(s, "\"config_hash\":\"", "\"")?.to_string();
+        if metrics_digest.len() != 16 || config_hash.len() != 16 {
+            return None;
+        }
+        Some(SweepCellSummary {
+            seed: between(s, "{\"seed\":", ",")?.parse().ok()?,
+            flows: between(s, "\"flows\":", ",")?.parse().ok()?,
+            completed: between(s, "\"completed\":", ",")?.parse().ok()?,
+            metrics_digest,
+            config_hash,
+        })
+    }
+}
+
+/// Result of a supervised multi-seed sweep.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Scenario name.
+    pub scenario: String,
+    /// Run scale.
+    pub scale: Scale,
+    /// Per-seed summaries in input (seed) order; failed cells are `None`.
+    pub cells: Vec<Option<SweepCellSummary>>,
+    /// Campaign summary: counts, failures, quarantine.
+    pub report: CampaignReport,
+}
+
+impl SweepOutcome {
+    /// The sweep aggregate artifact. Built purely from the per-cell
+    /// summaries in input order, so a killed-then-resumed campaign (which
+    /// replays finished cells from the checkpoint journal) renders bytes
+    /// identical to an uninterrupted run — `cmp`-able in CI.
+    pub fn aggregate_json(&self) -> String {
+        let rows: Vec<String> = self
+            .cells
+            .iter()
+            .flatten()
+            .map(|c| c.to_json())
+            .collect();
+        let body = rows.join(",");
+        format!(
+            "{{\"schema\":\"rocc-sweep-aggregate/v1\",\"scenario\":\"{}\",\
+             \"scale\":\"{}\",\"cells\":[{body}],\"campaign_digest\":\"{}\"}}\n",
+            self.scenario,
+            scale_name(self.scale),
+            digest(&body)
+        )
+    }
+}
+
+/// Journal key for one sweep cell: scenario, scale and seed plus the
+/// seed-zeroed config hash, so a config change invalidates the journal
+/// while a resume after a crash matches it.
+pub fn sweep_cell_key(scenario: &str, scale: Scale, config_hash: &str, seed: u64) -> String {
+    format!(
+        "observe/{scenario}/{}/seed{seed}/{config_hash}",
+        scale_name(scale)
+    )
+}
+
+/// Run `scenario` once per seed under the campaign supervisor. A cell
+/// whose run fails its verdict (deadline, deadlock, budget guard) fails
+/// the cell — a sweep's cells are expected to complete cleanly, unlike
+/// the tolerant single-run [`observe`] path. `None` for an unknown
+/// scenario name.
+pub fn sweep(
+    scenario: &str,
+    scale: Scale,
+    seeds: &[u64],
+    sup: &Supervisor,
+) -> Option<SweepOutcome> {
+    let config_hash = digest(&scenario_config_debug(scenario)?);
+    let cells: Vec<(String, u64)> = seeds
+        .iter()
+        .map(|&seed| (sweep_cell_key(scenario, scale, &config_hash, seed), seed))
+        .collect();
+    let codec = FnCodec(SweepCellSummary::to_json, SweepCellSummary::from_json);
+    let scenario_owned = scenario.to_string();
+    let campaign = sup.run(cells, &codec, move |&seed| {
+        let run = observe(&scenario_owned, scale, seed)
+            .expect("scenario validated before the campaign started");
+        match run.verdict.err() {
+            Some(e) => Err(e.clone()),
+            None => Ok(SweepCellSummary::from_run(&run)),
+        }
+    });
+    let report = campaign.report();
+    Some(SweepOutcome {
+        scenario: scenario.to_string(),
+        scale,
+        cells: campaign.into_results(),
+        report,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -584,6 +749,32 @@ mod tests {
         assert_eq!(fnv1a64(""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(digest("hello"), format!("{:016x}", fnv1a64("hello")));
         assert_ne!(digest("a"), digest("b"));
+    }
+
+    #[test]
+    fn sweep_cell_summary_roundtrips_and_rejects_torn_lines() {
+        let c = SweepCellSummary {
+            seed: 9,
+            flows: 8,
+            completed: 8,
+            metrics_digest: "0123456789abcdef".to_string(),
+            config_hash: "fedcba9876543210".to_string(),
+        };
+        let json = c.to_json();
+        assert_eq!(SweepCellSummary::from_json(&json), Some(c.clone()));
+        assert_eq!(SweepCellSummary::from_json(&json[..json.len() - 9]), None);
+        assert_eq!(SweepCellSummary::from_json("{}"), None);
+    }
+
+    #[test]
+    fn sweep_cell_keys_embed_config_and_seed() {
+        let h = digest(&scenario_config_debug("incast").unwrap());
+        let a = sweep_cell_key("incast", Scale::Quick, &h, 7);
+        let b = sweep_cell_key("incast", Scale::Quick, &h, 8);
+        assert_ne!(a, b);
+        assert!(a.contains(&h), "{a}");
+        assert_ne!(a, sweep_cell_key("incast", Scale::Paper, &h, 7));
+        assert!(scenario_config_debug("nope").is_none());
     }
 
     #[test]

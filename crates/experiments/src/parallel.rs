@@ -11,6 +11,33 @@
 //! statistic is bit-identical. `tests/determinism.rs` pins this.
 
 use rayon::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The captured payload of a cell that panicked under [`run_isolated`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellPanic {
+    /// The panic message (downcast from `&str`/`String` payloads; a fixed
+    /// placeholder for exotic payload types).
+    pub message: String,
+}
+
+/// Run `f`, converting a panic into a typed [`CellPanic`] instead of
+/// letting it unwind into the fan-out machinery. This matters because the
+/// vendored rayon stand-in propagates a worker panic out of
+/// `std::thread::scope`, which would turn one poisoned cell into a
+/// whole-campaign abort.
+pub fn run_isolated<R>(f: impl FnOnce() -> R) -> Result<R, CellPanic> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        CellPanic { message }
+    })
+}
 
 /// How to execute a cell grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +74,22 @@ where
     }
 }
 
+/// [`map_cells`] with per-cell panic isolation: a panicking cell yields
+/// `Err(CellPanic)` in its slot while every other cell still runs and
+/// returns its result in input order.
+pub fn map_cells_isolated<T, R, F>(
+    mode: ExecMode,
+    cells: Vec<T>,
+    f: F,
+) -> Vec<Result<R, CellPanic>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync + Send,
+{
+    map_cells(mode, cells, move |c| run_isolated(|| f(c)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -58,6 +101,37 @@ mod tests {
         let parallel = map_cells(ExecMode::Parallel, cells, |c| c * 7 + 1);
         assert_eq!(serial, parallel);
         assert_eq!(serial[10], 71);
+    }
+
+    #[test]
+    fn isolation_captures_panics_without_killing_the_map() {
+        for mode in [ExecMode::Serial, ExecMode::Parallel] {
+            let cells: Vec<u32> = (0..8).collect();
+            let out = map_cells_isolated(mode, cells, |c| {
+                if c == 3 {
+                    panic!("cell {c} poisoned");
+                }
+                c * 2
+            });
+            assert_eq!(out.len(), 8);
+            for (i, r) in out.iter().enumerate() {
+                if i == 3 {
+                    assert_eq!(
+                        r.as_ref().unwrap_err().message,
+                        "cell 3 poisoned",
+                        "mode {mode:?}"
+                    );
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i as u32 * 2, "mode {mode:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isolation_downcasts_string_payloads() {
+        let e = run_isolated(|| -> u32 { panic!("{}", format!("dynamic {}", 42)) });
+        assert_eq!(e.unwrap_err().message, "dynamic 42");
     }
 
     #[test]

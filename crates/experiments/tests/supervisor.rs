@@ -1,0 +1,197 @@
+//! Campaign-supervisor integration over *real* simulations: panic and
+//! livelock isolation inside one campaign, and crash-resumable sweeps —
+//! a campaign killed after `k` completed cells and resumed from its
+//! checkpoint journal must reproduce the uninterrupted aggregate byte
+//! for byte, across faulted seeds.
+
+use proptest::prelude::*;
+use rocc_experiments::observatory;
+use rocc_experiments::parallel::ExecMode;
+use rocc_experiments::supervisor::{
+    scratch_path, FnCodec, NoCache, RetryPolicy, Supervisor,
+};
+use rocc_experiments::{micro, scenarios, Scale, Scheme};
+use rocc_sim::prelude::*;
+
+/// A tiny 2-sender dumbbell run with per-seed CNP loss. Cheap enough to
+/// run dozens of times under proptest; the fault layer makes the outcome
+/// seed-dependent, which is exactly what the resume test must survive.
+fn faulted_cell(seed: u64) -> Result<u64, SimError> {
+    let d = scenarios::dumbbell(2, BitRate::from_gbps(40));
+    let cfg = SimConfig {
+        seed,
+        fault_plan: FaultPlan::default().with_loss(FaultTarget::Cnp, 0.01),
+        ..SimConfig::default()
+    };
+    let mut sim = micro::sim_with(d.topo, Scheme::Rocc, 7, cfg);
+    for (i, &s) in d.senders.iter().enumerate() {
+        sim.add_flow(FlowSpec {
+            id: FlowId(i as u64),
+            src: s,
+            dst: d.receiver,
+            size: 50_000,
+            start: SimTime::ZERO,
+            offered: None,
+        });
+    }
+    let verdict = sim.run_until_flows_done(SimTime::from_millis(100));
+    if let Some(e) = verdict.err() {
+        return Err(e.clone());
+    }
+    // Completion count plus total FCT nanoseconds: any scheduling drift
+    // between the original and resumed campaigns shows up here.
+    let fct_ns: u64 = sim.trace.fcts.iter().map(|r| r.fct().as_nanos()).sum();
+    Ok(sim.trace.fcts.len() as u64 * 1_000_000_000_000 + fct_ns)
+}
+
+/// A run that can never finish a flow or advance time: the zero-period
+/// sampler reschedules itself at the same instant forever, so only the
+/// livelock budget can end the run — with `SimError::Stalled`.
+fn livelocked_cell() -> Result<u64, SimError> {
+    let d = scenarios::dumbbell(2, BitRate::from_gbps(40));
+    let cfg = SimConfig {
+        budget: RunBudget {
+            max_events: None,
+            stall_events: Some(10_000),
+        },
+        ..SimConfig::default()
+    };
+    let mut sim = micro::sim_with(d.topo, Scheme::Rocc, 7, cfg);
+    sim.trace.sample_period = Some(SimDuration::ZERO);
+    sim.add_flow(FlowSpec {
+        id: FlowId(0),
+        src: d.senders[0],
+        dst: d.receiver,
+        size: 50_000,
+        start: SimTime::ZERO,
+        offered: None,
+    });
+    let verdict = sim.run_until_flows_done(SimTime::from_millis(100));
+    match verdict.err() {
+        Some(e) => Err(e.clone()),
+        None => Ok(0),
+    }
+}
+
+/// The ISSUE's acceptance scenario: a campaign holding two healthy sim
+/// cells, one panicking cell, and one genuinely livelocked cell must
+/// complete with partial results, a quarantine entry per failure, and a
+/// structured failure report — never tear down the whole sweep.
+#[test]
+fn campaign_isolates_panicking_and_livelocked_cells() {
+    let cells: Vec<(String, u32)> = vec![
+        ("itest/healthy/seed1".into(), 0),
+        ("itest/healthy/seed2".into(), 1),
+        ("itest/panic".into(), 2),
+        ("itest/livelock".into(), 3),
+    ];
+    let sup = Supervisor::new(ExecMode::Parallel).with_retry(RetryPolicy {
+        max_attempts: 2,
+        backoff_base_ms: 0,
+    });
+    let campaign = sup.run(cells, &NoCache, |&kind| match kind {
+        0 => faulted_cell(1),
+        1 => faulted_cell(2),
+        2 => panic!("injected cell panic"),
+        _ => livelocked_cell(),
+    });
+    assert!(!campaign.all_ok());
+    let report = campaign.report();
+    assert_eq!((report.total, report.ok), (4, 2));
+    assert_eq!(report.panicked, 1);
+    assert_eq!(report.budget_exhausted, 1);
+    assert_eq!(report.skipped, 0);
+
+    // Structured failure report: both failures named, panic retried to
+    // the cap, livelock detail carries the typed stalled verdict.
+    let json = report.to_json();
+    assert!(json.contains("\"key\":\"itest/panic\""));
+    assert!(json.contains("injected cell panic"));
+    assert!(json.contains("\"verdict\":\"stalled\""));
+    let panic_failure = report
+        .failures
+        .iter()
+        .find(|f| f.key == "itest/panic")
+        .expect("panic cell quarantined");
+    assert_eq!((panic_failure.class, panic_failure.attempts), ("panicked", 2));
+    let quarantine = report.quarantine_json();
+    assert!(quarantine.contains("itest/panic") && quarantine.contains("itest/livelock"));
+
+    // Partial results survive in input order.
+    let results = campaign.into_results();
+    assert!(results[0].is_some() && results[1].is_some());
+    assert!(results[2].is_none() && results[3].is_none());
+}
+
+/// End-to-end resume through the real observatory sweep: a full campaign
+/// whose journal is then truncated to one line (simulating a mid-run
+/// kill, torn tail included) must resume to a byte-identical aggregate.
+#[test]
+fn observatory_sweep_resumes_byte_identically_after_kill() {
+    let journal = scratch_path("sweep-resume-journal");
+    let seeds = [observatory::GOLDEN_SEED, observatory::GOLDEN_SEED + 1];
+    let sup = Supervisor::new(ExecMode::Serial).with_journal(&journal);
+    let full = observatory::sweep("incast", Scale::Quick, &seeds, &sup)
+        .expect("known scenario");
+    assert!(full.report.all_ok());
+    let reference = full.aggregate_json();
+
+    // Kill after cell 1: keep the first journal line, add a torn tail.
+    let doc = std::fs::read_to_string(&journal).unwrap();
+    let first_line = doc.lines().next().unwrap();
+    std::fs::write(&journal, format!("{first_line}\n{{\"key\":\"torn")).unwrap();
+
+    let resumed = observatory::sweep("incast", Scale::Quick, &seeds, &sup)
+        .expect("known scenario");
+    assert_eq!(resumed.report.cached, 1, "first cell replays from journal");
+    assert_eq!(resumed.aggregate_json(), reference);
+    std::fs::remove_file(&journal).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Kill-and-resume fidelity across faulted seeds: for any base seed
+    /// and any kill point `k`, a campaign resumed from the first `k`
+    /// journal lines (optionally followed by a torn partial line) must
+    /// rebuild the exact aggregate of the uninterrupted campaign.
+    #[test]
+    fn killed_campaign_resumes_byte_identically(
+        base_seed in 0u64..64,
+        k in 0usize..=4,
+        torn in 0u32..2,
+    ) {
+        let torn_tail = torn == 1;
+        let cells: Vec<(String, u64)> = (0..4u64)
+            .map(|i| (format!("prop/seed{}", base_seed + i), base_seed + i))
+            .collect();
+        let codec = FnCodec(
+            |v: &u64| v.to_string(),
+            |s: &str| s.parse::<u64>().ok(),
+        );
+        let journal = scratch_path("prop-resume-journal");
+        let sup = Supervisor::new(ExecMode::Serial).with_journal(&journal);
+
+        let full = sup.run(cells.clone(), &codec, |&seed| faulted_cell(seed));
+        prop_assert!(full.report().all_ok());
+        let reference: Vec<Option<u64>> = full.into_results();
+
+        let doc = std::fs::read_to_string(&journal).unwrap();
+        let mut kept: String = doc
+            .lines()
+            .take(k)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        if torn_tail {
+            // A write torn mid-line by the kill: must be skipped, not
+            // trusted, and must not poison the resumed campaign.
+            kept.push_str("{\"key\":\"prop/seed");
+        }
+        std::fs::write(&journal, kept).unwrap();
+
+        let resumed = sup.run(cells, &codec, |&seed| faulted_cell(seed));
+        prop_assert_eq!(resumed.report().cached, k);
+        prop_assert_eq!(resumed.into_results(), reference);
+        std::fs::remove_file(&journal).ok();
+    }
+}

@@ -75,6 +75,63 @@ impl PfcConfig {
     }
 }
 
+/// Default livelock threshold: consecutive events at one instant before the
+/// run is declared [`crate::sanitizer::SimError::Stalled`]. Healthy runs
+/// dispatch at most a few thousand events per instant (bounded by topology
+/// fan-in), so this is orders of magnitude above any legitimate burst while
+/// still catching a same-instant event loop in well under a second of wall
+/// time.
+pub const DEFAULT_STALL_EVENTS: u64 = 5_000_000;
+
+/// Runtime budgets guarding one run against unbounded work. The existing
+/// deadline in [`crate::engine::Sim::run_until_flows_done`] is *sim-time*
+/// based, so it never fires for a run whose clock stops advancing; these
+/// guards are event-count based and close that gap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunBudget {
+    /// Hard ceiling on total events processed across the run; exceeding it
+    /// yields [`crate::sanitizer::SimError::BudgetExhausted`]. `None` means
+    /// unlimited (the default — campaigns opt in per cell).
+    pub max_events: Option<u64>,
+    /// Livelock detector: abort with
+    /// [`crate::sanitizer::SimError::Stalled`] once this many consecutive
+    /// events are dispatched without simulated time advancing. `None`
+    /// disables the guard.
+    pub stall_events: Option<u64>,
+}
+
+impl Default for RunBudget {
+    fn default() -> Self {
+        RunBudget {
+            max_events: None,
+            stall_events: Some(DEFAULT_STALL_EVENTS),
+        }
+    }
+}
+
+impl RunBudget {
+    /// A budget with every guard disabled (bit-identical to the engine
+    /// before budgets existed; useful for open-ended soak runs).
+    pub fn unlimited() -> Self {
+        RunBudget {
+            max_events: None,
+            stall_events: None,
+        }
+    }
+
+    /// Cap total events at `n`, keeping the default livelock guard.
+    pub fn with_max_events(mut self, n: u64) -> Self {
+        self.max_events = Some(n);
+        self
+    }
+
+    /// Set the livelock threshold to `n` consecutive same-instant events.
+    pub fn with_stall_events(mut self, n: u64) -> Self {
+        self.stall_events = Some(n);
+        self
+    }
+}
+
 /// Global simulation parameters (paper §6 "System parameters").
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -105,6 +162,10 @@ pub struct SimConfig {
     /// host pauses/crashes). The default plan is empty and leaves every
     /// result bit-identical to a fault-free simulator.
     pub fault_plan: FaultPlan,
+    /// Runtime budgets (event ceiling, livelock detector). Budgets never
+    /// perturb scheduling — a run within budget is bit-identical with any
+    /// budget setting; a run over budget aborts with a typed verdict.
+    pub budget: RunBudget,
 }
 
 impl Default for SimConfig {
@@ -120,6 +181,7 @@ impl Default for SimConfig {
             seed: 1,
             prioritize_control: true,
             fault_plan: FaultPlan::default(),
+            budget: RunBudget::default(),
         }
     }
 }
@@ -277,6 +339,19 @@ mod tests {
     #[test]
     fn default_fault_plan_is_empty() {
         assert!(SimConfig::default().fault_plan.is_empty());
+    }
+
+    #[test]
+    fn default_budget_keeps_livelock_guard_only() {
+        let b = SimConfig::default().budget;
+        assert_eq!(b.max_events, None);
+        assert_eq!(b.stall_events, Some(DEFAULT_STALL_EVENTS));
+        let u = RunBudget::unlimited();
+        assert_eq!(u.max_events, None);
+        assert_eq!(u.stall_events, None);
+        let c = RunBudget::default().with_max_events(5).with_stall_events(9);
+        assert_eq!(c.max_events, Some(5));
+        assert_eq!(c.stall_events, Some(9));
     }
 
     #[test]

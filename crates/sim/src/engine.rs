@@ -277,6 +277,12 @@ pub struct Sim {
     finite_flows: u64,
     host_cc: Box<dyn HostCcFactory>,
     events_processed: u64,
+    /// Consecutive events dispatched without simulated time advancing
+    /// (the livelock detector's odometer; reset whenever the clock moves).
+    stall_run: u64,
+    /// Budget failure recorded by an open-ended [`Sim::run_until`] call
+    /// (bounded runs return theirs through the [`RunVerdict`] instead).
+    budget_failure: Option<SimError>,
     wall: std::time::Duration,
     sanitizer: Sanitizer,
 }
@@ -325,6 +331,8 @@ impl Sim {
             finite_flows: 0,
             host_cc,
             events_processed: 0,
+            stall_run: 0,
+            budget_failure: None,
             wall: std::time::Duration::ZERO,
             sanitizer: Sanitizer::default(),
         };
@@ -450,6 +458,16 @@ impl Sim {
                 self.kernel.now = t_end;
                 break;
             }
+            if let Some(e) = self.budget_breach(s.at) {
+                // Open-ended runs have no verdict to return; record the
+                // failure (retrievable via [`Sim::budget_failure`]), publish
+                // it, and stop instead of spinning forever.
+                self.kernel.requeue(s);
+                let v = RunVerdict::Failed(e);
+                self.publish_verdict(&v);
+                self.budget_failure = v.err().cloned();
+                break;
+            }
             self.kernel.now = s.at;
             self.events_processed += 1;
             self.dispatch(s.ev);
@@ -457,6 +475,50 @@ impl Sim {
             // audits still record violations and pause metrics.
             let _ = self.audit_if_due();
         }
+    }
+
+    /// The budget failure recorded by an open-ended [`Sim::run_until`] call,
+    /// if a guard tripped (bounded runs return theirs through the
+    /// [`RunVerdict`] of [`Sim::run_until_flows_done`]).
+    pub fn budget_failure(&self) -> Option<&SimError> {
+        self.budget_failure.as_ref()
+    }
+
+    /// Check the runtime budgets for the event about to be dispatched at
+    /// `at`. Pure bookkeeping: never schedules or reorders anything, so a
+    /// run within budget is bit-identical under any budget setting.
+    fn budget_breach(&mut self, at: SimTime) -> Option<SimError> {
+        let b = self.kernel.config.budget;
+        if let Some(limit) = b.max_events {
+            if self.events_processed >= limit {
+                return Some(SimError::BudgetExhausted {
+                    at: self.kernel.now,
+                    events: self.events_processed,
+                    limit,
+                    incomplete_flows: self.incomplete_finite(),
+                });
+            }
+        }
+        if at > self.kernel.now {
+            self.stall_run = 0;
+        } else {
+            self.stall_run += 1;
+            if let Some(limit) = b.stall_events {
+                if self.stall_run >= limit {
+                    return Some(SimError::Stalled {
+                        at: self.kernel.now,
+                        events_at_instant: self.stall_run,
+                        incomplete_flows: self.incomplete_finite(),
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Finite flows still outstanding (budget-verdict bookkeeping).
+    fn incomplete_finite(&self) -> u64 {
+        self.finite_flows.saturating_sub(self.trace.fcts.len() as u64)
     }
 
     /// Run until all registered finite flows have completed, but no longer
@@ -487,6 +549,10 @@ impl Sim {
                 self.kernel.requeue(s);
                 self.kernel.now = max_t;
                 return RunVerdict::Failed(self.stall_error(finite, false));
+            }
+            if let Some(e) = self.budget_breach(s.at) {
+                self.kernel.requeue(s);
+                return RunVerdict::Failed(e);
             }
             self.kernel.now = s.at;
             self.events_processed += 1;
@@ -790,6 +856,13 @@ impl Sim {
                 gen,
             } => {
                 if self.kernel.faults.host_is_down(node) {
+                    // A host with no restore scheduled is never coming back:
+                    // re-queueing would churn the heap every 100 µs until the
+                    // deadline for an event nobody will ever handle.
+                    if !self.kernel.faults.host_will_recover(node, self.kernel.now) {
+                        self.trace.faults.abandoned_events += 1;
+                        return;
+                    }
                     // Timers freeze while the host is down; re-deliver later
                     // with the same generation so CC timer chains (e.g. the
                     // RoCC recovery timer) survive a pause. A crash bumps
@@ -822,6 +895,13 @@ impl Sim {
                 let spec = self.flows[idx];
                 let meta = self.flow_dir[&spec.id];
                 if self.kernel.faults.host_is_down(spec.src) {
+                    // A permanently crashed source can never start this flow;
+                    // abandon the event instead of re-queueing it forever
+                    // (the run then drains and gets a typed verdict).
+                    if !self.kernel.faults.host_will_recover(spec.src, self.kernel.now) {
+                        self.trace.faults.abandoned_events += 1;
+                        return;
+                    }
                     // The source is down; retry once it has come back.
                     let at = self.kernel.now + Self::HOST_DOWN_RETRY;
                     self.kernel.schedule(at, Event::FlowStart { idx });
@@ -1240,6 +1320,223 @@ mod tests {
         let expect = 1.25e6 * 1000.0 / 1048.0; // wire-rate cap incl. headers
         let err = (delivered as f64 - expect).abs() / expect;
         assert!(err < 0.05, "delivered {delivered} vs expected {expect}");
+    }
+
+    #[test]
+    fn event_budget_exhaustion_yields_typed_verdict() {
+        let topo = two_hosts_one_switch();
+        let h0 = topo.hosts()[0];
+        let h1 = topo.hosts()[1];
+        let mut cfg = SimConfig::default();
+        cfg.budget = crate::config::RunBudget {
+            max_events: Some(50),
+            stall_events: None,
+        };
+        let mut sim = Sim::new(
+            topo,
+            cfg,
+            Box::new(NullHostCcFactory),
+            Box::new(NullSwitchCcFactory),
+        );
+        sim.add_flow(FlowSpec {
+            id: FlowId(1),
+            src: h0,
+            dst: h1,
+            size: 10_000_000,
+            start: SimTime::ZERO,
+            offered: None,
+        });
+        let v = sim.run_until_flows_done(SimTime::from_millis(100));
+        match v.err() {
+            Some(e @ SimError::BudgetExhausted { limit, events, .. }) => {
+                assert_eq!(*limit, 50);
+                assert_eq!(*events, 50);
+                assert!(e.is_budget());
+                assert!(e.to_json().contains("\"verdict\":\"budget_exhausted\""));
+                assert_eq!(
+                    e.kind(),
+                    crate::telemetry::VerdictKind::BudgetExhausted
+                );
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        assert_eq!(sim.events_processed(), 50);
+    }
+
+    /// A zero sample period makes `Sample` reschedule itself at `now`
+    /// forever: the clock can never pass the first sampling instant. The
+    /// sim-time deadline is useless here — only the livelock guard fires.
+    #[test]
+    fn livelock_is_detected_as_stalled() {
+        let topo = two_hosts_one_switch();
+        let h0 = topo.hosts()[0];
+        let h1 = topo.hosts()[1];
+        let mut cfg = SimConfig::default();
+        cfg.budget = crate::config::RunBudget {
+            max_events: None,
+            stall_events: Some(10_000),
+        };
+        let mut sim = Sim::new(
+            topo,
+            cfg,
+            Box::new(NullHostCcFactory),
+            Box::new(NullSwitchCcFactory),
+        );
+        sim.trace.sample_period = Some(SimDuration::ZERO);
+        sim.add_flow(FlowSpec {
+            id: FlowId(1),
+            src: h0,
+            dst: h1,
+            size: 100_000,
+            start: SimTime::ZERO,
+            offered: None,
+        });
+        let v = sim.run_until_flows_done(SimTime::from_millis(100));
+        match v.err() {
+            Some(e @ SimError::Stalled { events_at_instant, incomplete_flows, .. }) => {
+                assert!(*events_at_instant >= 10_000);
+                assert_eq!(*incomplete_flows, 1);
+                assert!(e.is_budget());
+                assert!(e.to_json().contains("\"verdict\":\"stalled\""));
+            }
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn open_ended_run_records_budget_failure() {
+        let topo = two_hosts_one_switch();
+        let h0 = topo.hosts()[0];
+        let h1 = topo.hosts()[1];
+        let mut cfg = SimConfig::default();
+        cfg.budget = crate::config::RunBudget {
+            max_events: None,
+            stall_events: Some(1_000),
+        };
+        let mut sim = Sim::new(
+            topo,
+            cfg,
+            Box::new(NullHostCcFactory),
+            Box::new(NullSwitchCcFactory),
+        );
+        sim.trace.sample_period = Some(SimDuration::ZERO);
+        sim.add_flow(FlowSpec {
+            id: FlowId(1),
+            src: h0,
+            dst: h1,
+            size: u64::MAX,
+            start: SimTime::ZERO,
+            offered: Some(BitRate::from_gbps(1)),
+        });
+        sim.run_until(SimTime::from_millis(1));
+        assert!(
+            matches!(sim.budget_failure(), Some(SimError::Stalled { .. })),
+            "open-ended livelock must be recorded: {:?}",
+            sim.budget_failure()
+        );
+    }
+
+    #[test]
+    fn healthy_run_is_bit_identical_under_budgets() {
+        let run = |budget: crate::config::RunBudget| {
+            let topo = two_hosts_one_switch();
+            let h0 = topo.hosts()[0];
+            let h1 = topo.hosts()[1];
+            let mut cfg = SimConfig::default();
+            cfg.budget = budget;
+            let mut sim = Sim::new(
+                topo,
+                cfg,
+                Box::new(NullHostCcFactory),
+                Box::new(NullSwitchCcFactory),
+            );
+            sim.add_flow(FlowSpec {
+                id: FlowId(1),
+                src: h0,
+                dst: h1,
+                size: 200_000,
+                start: SimTime::ZERO,
+                offered: None,
+            });
+            sim.run_until_flows_done(SimTime::from_millis(100)).assert_complete();
+            (
+                sim.events_processed(),
+                sim.trace.fcts.iter().map(|r| r.end.as_nanos()).collect::<Vec<_>>(),
+            )
+        };
+        let loose = crate::config::RunBudget::unlimited();
+        let guarded = crate::config::RunBudget {
+            max_events: Some(u64::MAX),
+            stall_events: Some(1_000_000),
+        };
+        assert_eq!(run(loose), run(guarded));
+    }
+
+    #[test]
+    fn events_for_permanently_crashed_host_are_abandoned() {
+        let topo = two_hosts_one_switch();
+        let h0 = topo.hosts()[0];
+        let h1 = topo.hosts()[1];
+        let mut cfg = SimConfig::default();
+        cfg.fault_plan = crate::fault::FaultPlan::default()
+            .with_host_crash_forever(h0, SimTime::from_micros(5));
+        let mut sim = Sim::new(
+            topo,
+            cfg,
+            Box::new(NullHostCcFactory),
+            Box::new(NullSwitchCcFactory),
+        );
+        // The flow starts after the crash: its FlowStart must be abandoned,
+        // not re-queued every 100 µs until the deadline.
+        sim.add_flow(FlowSpec {
+            id: FlowId(1),
+            src: h0,
+            dst: h1,
+            size: 100_000,
+            start: SimTime::from_micros(10),
+            offered: None,
+        });
+        let v = sim.run_until_flows_done(SimTime::from_millis(100));
+        assert!(
+            matches!(v.err(), Some(SimError::Drained { incomplete_flows: 1, .. })),
+            "run must drain, not churn to the deadline: {v:?}"
+        );
+        assert_eq!(sim.trace.faults.abandoned_events, 1);
+        // No 100 µs retry churn: the whole run is a handful of events.
+        assert!(
+            sim.events_processed() < 20,
+            "event churn despite abandonment: {}",
+            sim.events_processed()
+        );
+    }
+
+    #[test]
+    fn crashed_host_with_scheduled_restore_still_retries() {
+        let topo = two_hosts_one_switch();
+        let h0 = topo.hosts()[0];
+        let h1 = topo.hosts()[1];
+        let mut cfg = SimConfig::default();
+        cfg.fault_plan = crate::fault::FaultPlan::default().with_host_crash(
+            h0,
+            SimTime::from_micros(5),
+            SimTime::from_micros(300),
+        );
+        let mut sim = Sim::new(
+            topo,
+            cfg,
+            Box::new(NullHostCcFactory),
+            Box::new(NullSwitchCcFactory),
+        );
+        sim.add_flow(FlowSpec {
+            id: FlowId(1),
+            src: h0,
+            dst: h1,
+            size: 100_000,
+            start: SimTime::from_micros(10),
+            offered: None,
+        });
+        sim.run_until_flows_done(SimTime::from_millis(100)).assert_complete();
+        assert_eq!(sim.trace.faults.abandoned_events, 0);
     }
 
     #[test]

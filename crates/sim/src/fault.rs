@@ -301,6 +301,21 @@ impl FaultPlan {
         self
     }
 
+    /// Schedule a host crash with **no** restart: the host is down for the
+    /// rest of the run (`restore_at` is the [`SimTime::MAX`] sentinel, and
+    /// no restore event is ever scheduled). Events addressed to such a host
+    /// are abandoned by the engine instead of being re-queued forever — see
+    /// [`crate::trace::FaultCounters::abandoned_events`].
+    pub fn with_host_crash_forever(mut self, host: NodeId, at: SimTime) -> Self {
+        self.host_faults.push(HostFault {
+            host,
+            at,
+            restore_at: SimTime::MAX,
+            kind: HostFaultKind::Crash,
+        });
+        self
+    }
+
     /// Schedule a host pause (freeze without state loss).
     pub fn with_host_pause(mut self, host: NodeId, at: SimTime, resume_at: SimTime) -> Self {
         assert!(at < resume_at, "pause must precede resume");
@@ -399,7 +414,12 @@ impl FaultState {
                 HostFaultKind::Crash => FaultEvent::HostCrash(h.host),
             };
             evs.push((h.at, strike));
-            evs.push((h.restore_at, FaultEvent::HostRestore(h.host)));
+            // The MAX sentinel means "never restored": scheduling it would
+            // park an undispatchable event in the heap and keep a quiesced
+            // run from draining.
+            if h.restore_at != SimTime::MAX {
+                evs.push((h.restore_at, FaultEvent::HostRestore(h.host)));
+            }
         }
         evs
     }
@@ -418,6 +438,17 @@ impl FaultState {
     /// Is this host currently paused or crashed?
     pub fn host_is_down(&self, node: NodeId) -> bool {
         self.active && self.host_down[node.0]
+    }
+
+    /// Will this host ever be restored after `now`? False for a host whose
+    /// every scheduled restore is in the past or is the "never" sentinel
+    /// ([`SimTime::MAX`]) — i.e. the host is known never to recover, so
+    /// events addressed to it can be abandoned rather than re-queued.
+    pub fn host_will_recover(&self, node: NodeId, now: SimTime) -> bool {
+        self.plan
+            .host_faults
+            .iter()
+            .any(|h| h.host == node && h.restore_at > now && h.restore_at != SimTime::MAX)
     }
 
     /// Mark a host up/down.

@@ -89,7 +89,9 @@ pub mod prelude {
         NullHostCcFactory, NullSwitchCcFactory, PacketMeta, RateDecision, SwitchCc, SwitchCcCtx,
         SwitchCcFactory,
     };
-    pub use crate::config::{BufferMode, ConfigError, PfcConfig, SimConfig};
+    pub use crate::config::{
+        BufferMode, ConfigError, PfcConfig, RunBudget, SimConfig, DEFAULT_STALL_EVENTS,
+    };
     pub use crate::engine::{Event, FlowMeta, FlowSpec, Kernel, Sim};
     pub use crate::fastmap::{FxHashMap, FxHashSet, FxHasher};
     pub use crate::fault::{

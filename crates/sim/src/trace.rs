@@ -78,6 +78,12 @@ pub struct FaultCounters {
     /// Packets delivered out of order by an injected reorder fault. Not
     /// counted in [`FaultCounters::total`]: reordering destroys nothing.
     pub reordered: u64,
+    /// Engine events (flow starts, CC timers) abandoned because their host
+    /// is permanently crashed — down with no restore scheduled — instead of
+    /// being re-queued every retry interval until the deadline. These are
+    /// events, not packets, so they are excluded from
+    /// [`FaultCounters::total`].
+    pub abandoned_events: u64,
 }
 
 impl FaultCounters {
