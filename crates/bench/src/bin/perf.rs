@@ -1,15 +1,25 @@
-//! Engine performance benchmark: events/sec on a chaos-grade incast and
+//! Engine performance benchmark: events/sec on a chaos-grade incast
+//! (profiler off *and* on, so profiler overhead is measured every run),
 //! end-to-end wall-clock on the multi-seed incast sweep (serial and
-//! parallel), emitted as `BENCH_sim.json` so CI can track the perf
-//! trajectory and fail on regressions.
+//! parallel), and a per-phase breakdown from the phase profiler — emitted
+//! as `BENCH_sim.json` (schema `rocc-bench/v2`) plus a
+//! `rocc-perf-profile/v1` artifact, and gated by the multi-metric ratchet
+//! in [`rocc_bench::ratchet`].
 //!
 //! Usage:
-//!   perf bench <out_dir>      — run benchmarks, write <out_dir>/BENCH_sim.json
-//!   perf check <fresh> <base> — exit nonzero if <fresh> regressed >20%
-//!                               in events/sec against committed <base>
+//!   perf bench <out_dir>          — run benchmarks; write
+//!                                   <out_dir>/BENCH_sim.json and
+//!                                   <out_dir>/perf_profile.json
+//!   perf check <fresh> <base>     — exit nonzero if <fresh> regressed
+//!                                   past any ratchet tolerance vs <base>
+//!   perf ratchet <fresh> <base> [<out>]
+//!                                 — fold <fresh> into the ratchet,
+//!                                   writing the advanced baseline to
+//!                                   <out> (default: <base> in place)
 
+use rocc_bench::ratchet;
 use rocc_experiments::micro::sim_with;
-use rocc_experiments::parallel::{map_cells, ExecMode};
+use rocc_experiments::parallel::{map_cells, worker_threads, ExecMode};
 use rocc_experiments::schemes::Scheme;
 use rocc_sim::prelude::*;
 
@@ -36,14 +46,18 @@ fn dumbbell(n: usize, gbps: u64) -> (Topology, Vec<NodeId>, NodeId) {
     (b.build(), srcs, dst)
 }
 
-/// One incast cell: `senders` flows of `size` bytes under `scheme`.
-fn incast_cell(scheme: Scheme, senders: usize, size: u64, seed: u64) -> (u64, f64) {
+/// One incast run: `senders` flows of `size` bytes under `scheme`,
+/// optionally with the phase profiler live. Returns the finished sim.
+fn incast_run(scheme: Scheme, senders: usize, size: u64, seed: u64, profile: bool) -> Sim {
     let (topo, srcs, dst) = dumbbell(senders, 40);
     let cfg = SimConfig {
         seed,
         ..SimConfig::default()
     };
     let mut sim = sim_with(topo, scheme, 4, cfg);
+    if profile {
+        sim.enable_profiler();
+    }
     for (i, &s) in srcs.iter().enumerate() {
         sim.add_flow(FlowSpec {
             id: FlowId(i as u64),
@@ -55,20 +69,65 @@ fn incast_cell(scheme: Scheme, senders: usize, size: u64, seed: u64) -> (u64, f6
         });
     }
     sim.run_until_flows_done(SimTime::from_millis(400)).assert_complete();
+    sim
+}
+
+/// One incast cell for the sweep: (events processed, wall seconds).
+fn incast_cell(scheme: Scheme, senders: usize, size: u64, seed: u64) -> (u64, f64) {
+    let sim = incast_run(scheme, senders, size, seed, false);
     let p = sim.profile();
     (p.events_processed, p.wall_seconds)
 }
 
-/// Single-thread engine throughput: one large RoCC incast, best of 3.
-fn bench_engine() -> (u64, f64) {
-    let mut best: Option<(u64, f64)> = None;
-    for rep in 0..3 {
-        let (events, wall) = incast_cell(Scheme::Rocc, 12, 4_000_000, 100 + rep);
-        if best.is_none_or(|(_, bw)| wall < bw) {
-            best = Some((events, wall));
+/// Repetitions of the off/on engine pair. Single-run wall noise on a
+/// shared host is several percent — larger than the overhead being
+/// measured — so the estimator needs an ensemble to average over.
+const ENGINE_REPS: usize = 25;
+/// Walls kept per configuration after trimming the slowest runs.
+const ENGINE_KEEP: usize = 16;
+
+/// Single-thread engine throughput: the large RoCC incast with the
+/// profiler off and on, reps *interleaved* so thermal/scheduler drift on
+/// the host hits both configurations equally. Profiler overhead is
+/// estimated by a trimmed-sum ratio: sort each configuration's walls,
+/// drop the slowest `ENGINE_REPS - ENGINE_KEEP` (scheduler-noise spikes
+/// are one-sided), and compare the sums of the remainder — far more
+/// stable than any single-pair or best-vs-best comparison when the true
+/// overhead is a couple of percent. Returns the best-wall sim of each
+/// configuration plus the overhead estimate: `(off, on, overhead_pct)`.
+fn bench_engine() -> (Sim, Sim, f64) {
+    let mut best_off: Option<Sim> = None;
+    let mut best_on: Option<Sim> = None;
+    let mut walls_off = Vec::new();
+    let mut walls_on = Vec::new();
+    let keep_best = |slot: &mut Option<Sim>, sim: Sim| {
+        if slot
+            .as_ref()
+            .is_none_or(|b| sim.profile().wall_seconds < b.profile().wall_seconds)
+        {
+            *slot = Some(sim);
         }
+    };
+    for rep in 0..ENGINE_REPS as u64 {
+        // Alternate which configuration runs first so any slow drift in
+        // host load cancels instead of biasing one side.
+        let (a, b) = (rep % 2 == 0, rep % 2 == 1);
+        let first = incast_run(Scheme::Rocc, 12, 4_000_000, 100 + rep, a);
+        let second = incast_run(Scheme::Rocc, 12, 4_000_000, 100 + rep, b);
+        let (off, on) = if a { (second, first) } else { (first, second) };
+        walls_off.push(off.profile().wall_seconds);
+        walls_on.push(on.profile().wall_seconds);
+        keep_best(&mut best_off, off);
+        keep_best(&mut best_on, on);
     }
-    best.unwrap()
+    let trimmed_sum = |walls: &mut Vec<f64>| {
+        walls.sort_by(|a, b| a.total_cmp(b));
+        walls.iter().take(ENGINE_KEEP).sum::<f64>()
+    };
+    let sum_off = trimmed_sum(&mut walls_off);
+    let sum_on = trimmed_sum(&mut walls_on);
+    let overhead_pct = 100.0 * (sum_on / sum_off - 1.0);
+    (best_off.unwrap(), best_on.unwrap(), overhead_pct)
 }
 
 /// The multi-seed incast sweep grid: 3 schemes × 5 seeds.
@@ -93,67 +152,99 @@ fn run_sweep(mode: ExecMode) -> (f64, u64) {
     (t0.elapsed().as_secs_f64(), events.iter().sum())
 }
 
-/// Extract `"key":<number>` from a flat-enough JSON document. Fails the
-/// process on a missing key: a baseline that lost its fields should
-/// fail the check loudly, not silently pass.
-fn json_number(doc: &str, key: &str) -> f64 {
-    let needle = format!("\"{key}\":");
-    let at = doc
-        .find(&needle)
-        .unwrap_or_else(|| panic!("key {key:?} missing from JSON"));
-    let rest = &doc[at + needle.len()..];
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+'))
-        .unwrap_or(rest.len());
-    rest[..end]
-        .parse()
-        .unwrap_or_else(|e| panic!("key {key:?} is not a number: {e}"))
+/// Render the per-phase breakdown block for the v2 document.
+fn phases_json(sim: &Sim) -> String {
+    let rows: Vec<String> = sim
+        .kernel
+        .prof
+        .phase_shares(sim.profiled_pushes())
+        .iter()
+        .map(|(name, share, count)| {
+            format!("{{\"phase\":\"{name}\",\"share\":{share:.6},\"count\":{count}}}")
+        })
+        .collect();
+    format!("[{}]", rows.join(","))
 }
 
 fn cmd_bench(out_dir: &str) {
-    let (events, wall) = bench_engine();
-    let eps = events as f64 / wall;
+    // Engine throughput, profiler off (the production configuration) and
+    // on (measures overhead, produces the per-phase attribution +
+    // perf-profile artifact), reps interleaved.
+    let (off, on, overhead_pct) = bench_engine();
+    let p_off = off.profile();
+    let eps = p_off.events_per_sec();
+    let p_on = on.profile();
+    let eps_on = p_on.events_per_sec();
+
+    let cells = sweep_cells().len();
     let (sweep_serial, ev_serial) = run_sweep(ExecMode::Serial);
     let (sweep_parallel, ev_parallel) = run_sweep(ExecMode::Parallel);
     assert_eq!(
         ev_serial, ev_parallel,
         "parallel sweep processed a different event count — determinism broken"
     );
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = worker_threads(ExecMode::Parallel, cells);
     let engine_speedup = eps / PRE_REFACTOR_EVENTS_PER_SEC;
     let sweep_speedup = PRE_REFACTOR_SWEEP_SECONDS / sweep_serial.min(sweep_parallel);
-    println!("engine: {events} events in {wall:.3}s = {eps:.0} events/sec ({engine_speedup:.2}x vs pre-refactor)");
+    println!(
+        "engine: {} events in {:.3}s = {eps:.0} events/sec ({engine_speedup:.2}x vs pre-refactor)",
+        p_off.events_processed, p_off.wall_seconds
+    );
+    println!("engine (profiled): {eps_on:.0} events/sec — profiler overhead {overhead_pct:.2}%");
     println!("sweep (serial):   {sweep_serial:.3}s over {ev_serial} events");
     println!("sweep (parallel): {sweep_parallel:.3}s on {threads} thread(s)");
     println!("sweep speedup vs pre-refactor: {sweep_speedup:.2}x");
     let json = format!(
-        "{{\"engine\":{{\"events_processed\":{events},\"wall_seconds\":{wall},\"events_per_sec\":{eps},\
-         \"pre_refactor_events_per_sec\":{PRE_REFACTOR_EVENTS_PER_SEC},\"speedup_vs_pre_refactor\":{engine_speedup}}},\
+        "{{\"schema\":\"rocc-bench/v2\",\
+         \"engine\":{{\"engine_events\":{},\"engine_wall_seconds\":{},\"events_per_sec\":{eps},\
+         \"pre_refactor_events_per_sec\":{PRE_REFACTOR_EVENTS_PER_SEC},\"engine_speedup\":{engine_speedup}}},\
+         \"profiler\":{{\"profiled_events_per_sec\":{eps_on},\"profiler_overhead_pct\":{overhead_pct},\
+         \"phases\":{}}},\
          \"sweep\":{{\"serial_wall_seconds\":{sweep_serial},\"parallel_wall_seconds\":{sweep_parallel},\
          \"threads\":{threads},\"events_total\":{ev_serial},\
-         \"pre_refactor_serial_wall_seconds\":{PRE_REFACTOR_SWEEP_SECONDS},\"speedup_vs_pre_refactor\":{sweep_speedup}}}}}"
+         \"pre_refactor_serial_wall_seconds\":{PRE_REFACTOR_SWEEP_SECONDS},\"sweep_speedup\":{sweep_speedup}}}}}",
+        p_off.events_processed,
+        p_off.wall_seconds,
+        phases_json(&on)
     );
     std::fs::create_dir_all(out_dir).expect("create out dir");
     let path = format!("{out_dir}/BENCH_sim.json");
     std::fs::write(&path, json).expect("write BENCH_sim.json");
     println!("wrote {path}");
+    let profile_path = format!("{out_dir}/perf_profile.json");
+    std::fs::write(&profile_path, on.perf_profile_json()).expect("write perf_profile.json");
+    println!("wrote {profile_path}");
 }
 
 fn cmd_check(fresh_path: &str, base_path: &str) {
     let fresh = std::fs::read_to_string(fresh_path).expect("read fresh BENCH_sim.json");
     let base = std::fs::read_to_string(base_path).expect("read base BENCH_sim.json");
-    let fresh_eps = json_number(&fresh, "events_per_sec");
-    let base_eps = json_number(&base, "events_per_sec");
-    let floor = 0.8 * base_eps;
-    println!("fresh: {fresh_eps:.0} events/sec, committed baseline: {base_eps:.0} (floor {floor:.0})");
-    if fresh_eps < floor {
-        eprintln!(
-            "PERF REGRESSION: events/sec dropped {:.1}% (allowed: 20%)",
-            100.0 * (1.0 - fresh_eps / base_eps)
-        );
+    let verdicts = ratchet::check(&fresh, &base);
+    let mut failed = false;
+    for v in &verdicts {
+        if v.failed() {
+            failed = true;
+            eprintln!("FAIL {}", v.line());
+        } else {
+            println!("  ok {}", v.line());
+        }
+    }
+    if failed {
+        eprintln!("perf check FAILED against the ratchet");
         std::process::exit(1);
     }
-    println!("perf check passed");
+    println!("perf check passed ({} metrics)", verdicts.len());
+}
+
+fn cmd_ratchet(fresh_path: &str, base_path: &str, out_path: &str) {
+    let fresh = std::fs::read_to_string(fresh_path).expect("read fresh BENCH_sim.json");
+    let base = std::fs::read_to_string(base_path).expect("read base BENCH_sim.json");
+    let (next, log) = ratchet::advance(&fresh, &base);
+    for line in &log {
+        println!("  {line}");
+    }
+    std::fs::write(out_path, next).expect("write advanced ratchet");
+    println!("wrote {out_path}");
 }
 
 fn main() {
@@ -170,8 +261,18 @@ fn main() {
             };
             cmd_check(fresh, base);
         }
+        Some("ratchet") => {
+            let (Some(fresh), Some(base)) = (args.get(2), args.get(3)) else {
+                eprintln!("usage: perf ratchet <fresh> <base> [<out>]");
+                std::process::exit(2);
+            };
+            let out = args.get(4).unwrap_or(base).clone();
+            cmd_ratchet(fresh, base, &out);
+        }
         _ => {
-            eprintln!("usage: perf bench <out_dir> | perf check <fresh> <base>");
+            eprintln!(
+                "usage: perf bench <out_dir> | perf check <fresh> <base> | perf ratchet <fresh> <base> [<out>]"
+            );
             std::process::exit(2);
         }
     }

@@ -7,3 +7,5 @@
 //! the reproduced headline numbers once, then measures the run cost.
 
 #![warn(missing_docs)]
+
+pub mod ratchet;

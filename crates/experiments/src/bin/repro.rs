@@ -685,6 +685,56 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "profile" => {
+            let scenario = args.get(2).map(String::as_str).unwrap_or("incast");
+            let dir = args.get(3).map(String::as_str).unwrap_or("profile_out");
+            let scale = args
+                .get(4)
+                .and_then(|s| Scale::parse(s))
+                .unwrap_or(Scale::Quick);
+            let seed = args
+                .get(5)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(observatory::GOLDEN_SEED);
+            let Some(run) = rocc_experiments::profiling::profile(scenario, scale, seed) else {
+                eprintln!("unknown profile scenario: {scenario}");
+                eprintln!(
+                    "scenarios: {}",
+                    rocc_experiments::profiling::SCENARIOS.join(" ")
+                );
+                std::process::exit(2);
+            };
+            println!(
+                "{scenario}: seed {seed}, {}/{} flows completed, {} events in {:.3}s = {:.0} events/sec",
+                run.completed,
+                run.flows,
+                run.events,
+                run.wall_seconds,
+                run.events_per_sec(),
+            );
+            print!("{}", run.render_table());
+            let sum = run.share_sum();
+            println!("phase share sum: {:.2}% of measured wall", 100.0 * sum);
+            match run.write_artifacts(dir) {
+                Ok(paths) => {
+                    for p in paths {
+                        println!("  wrote {p}");
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            }
+            if (sum - 1.0).abs() >= 0.05 {
+                eprintln!("phase shares sum to {sum:.4}, outside the 5% acceptance band");
+                std::process::exit(1);
+            }
+            if !run.verdict.is_complete() {
+                eprintln!("{}", run.verdict.to_json());
+                std::process::exit(1);
+            }
+        }
         "sweep" => {
             let scenario = args.get(2).map(String::as_str).unwrap_or("incast");
             let dir = args.get(3).map(String::as_str).unwrap_or("sweep_out");
@@ -806,6 +856,7 @@ fn main() {
             println!("       repro dump <dir> [quick|paper]   (plot-ready CSVs)");
             println!("       repro trace <scenario|all> [dir] [quick|paper]   (telemetry timeline + BENCH_sim.json)");
             println!("       repro observe <scenario> [dir] [quick|paper] [seed]   (metrics JSONL + Perfetto trace + manifest)");
+            println!("       repro profile <scenario> [dir] [quick|paper] [seed]   (phase profiler: rocc-perf-profile/v1 + Perfetto engine counters)");
             println!("       repro sweep <scenario> [dir] [quick|paper] [nseeds] [serial|parallel]   (checkpointed multi-seed campaign, resumable)");
             println!("       repro compare <runA> <runB>   (cross-run fidelity gate)");
             println!("       repro golden [check|write] [path]   (pinned-run digest gate)");

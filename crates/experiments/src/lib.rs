@@ -47,6 +47,7 @@ pub mod fct;
 pub mod micro;
 pub mod observatory;
 pub mod parallel;
+pub mod profiling;
 pub mod scenarios;
 pub mod schemes;
 pub mod supervisor;

@@ -60,6 +60,19 @@ impl ExecMode {
     }
 }
 
+/// The worker-thread count a [`map_cells`] call with `mode` over `cells`
+/// items actually uses: 1 for serial, else the pool width capped at the
+/// cell count (a 5-cell grid on a 32-core host runs on 5 threads, and a
+/// single cell runs inline). This is what benchmark reports should record
+/// — `std::thread::available_parallelism` alone over-reports whenever
+/// `RAYON_NUM_THREADS` or the grid size is the binding constraint.
+pub fn worker_threads(mode: ExecMode, cells: usize) -> usize {
+    match mode {
+        ExecMode::Serial => 1,
+        ExecMode::Parallel => rayon::current_num_threads().min(cells.max(1)),
+    }
+}
+
 /// Map `f` over `cells`, honouring `mode`. The output is always in input
 /// order — callers may rely on `out[i] == f(cells[i])` positionally.
 pub fn map_cells<T, R, F>(mode: ExecMode, cells: Vec<T>, f: F) -> Vec<R>
@@ -132,6 +145,16 @@ mod tests {
     fn isolation_downcasts_string_payloads() {
         let e = run_isolated(|| -> u32 { panic!("{}", format!("dynamic {}", 42)) });
         assert_eq!(e.unwrap_err().message, "dynamic 42");
+    }
+
+    #[test]
+    fn worker_threads_caps_at_cell_count() {
+        assert_eq!(worker_threads(ExecMode::Serial, 64), 1);
+        // Parallel: never more threads than cells, at least one.
+        assert_eq!(worker_threads(ExecMode::Parallel, 1), 1);
+        assert_eq!(worker_threads(ExecMode::Parallel, 0), 1);
+        let w = worker_threads(ExecMode::Parallel, 4);
+        assert!((1..=4).contains(&w));
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::fastmap::FxHashMap;
 use crate::fault::{FaultDecision, FaultEvent, FaultState, FaultTarget};
 use crate::host::Host;
 use crate::packet::{FlowId, PacketKind};
+use crate::profiler::{Phase, PhaseProfiler, ProfileContext};
 use crate::sanitizer::{
     scan_pause_graph, AuditView, PauseReport, RunVerdict, SanLedger, Sanitizer, SimError,
     DEFAULT_AUDIT_PERIOD,
@@ -103,6 +104,26 @@ pub enum Event {
     Fault(FaultEvent),
 }
 
+impl Event {
+    /// Index into [`crate::profiler::EVENT_KIND_NAMES`] for the
+    /// profiler's dispatch mix.
+    pub fn kind_idx(&self) -> usize {
+        match self {
+            Event::Arrive { .. } => 0,
+            Event::SwitchTxDone { .. } => 1,
+            Event::HostTxDone { .. } => 2,
+            Event::HostWake { .. } => 3,
+            Event::CpTimer { .. } => 4,
+            Event::HostCcTimer { .. } => 5,
+            Event::Feedback { .. } => 6,
+            Event::FlowStart { .. } => 7,
+            Event::FlowStop { .. } => 8,
+            Event::Sample => 9,
+            Event::Fault(_) => 10,
+        }
+    }
+}
+
 struct Scheduled {
     at: SimTime,
     seq: u64,
@@ -144,6 +165,10 @@ pub struct Kernel {
     /// Arena of packets on the wire or parked in switch queues; `Arrive`
     /// events and switch queues hold [`PacketRef`]s into it.
     pub packets: PacketSlab,
+    /// Phase profiler and scheduler introspection. A single predictable
+    /// branch per hook while disabled (the default); node handlers mark
+    /// their phases through the `&mut Kernel` they already receive.
+    pub prof: PhaseProfiler,
     heap: BinaryHeap<Reverse<Scheduled>>,
     seq: u64,
     peak_heap: usize,
@@ -160,6 +185,7 @@ impl Kernel {
             faults,
             san: SanLedger::default(),
             packets: PacketSlab::new(),
+            prof: PhaseProfiler::default(),
             heap: BinaryHeap::new(),
             seq: 0,
             peak_heap: 0,
@@ -168,6 +194,7 @@ impl Kernel {
 
     /// Schedule `ev` at absolute time `at` (clamped to be ≥ now).
     pub fn schedule(&mut self, at: SimTime, ev: Event) {
+        let prof_prev = self.prof.push_begin();
         let at = at.max(self.now);
         if self.san.on() {
             if let Event::Arrive { pr, .. } = &ev {
@@ -184,6 +211,7 @@ impl Kernel {
         if self.heap.len() > self.peak_heap {
             self.peak_heap = self.heap.len();
         }
+        self.prof.push_end(prof_prev);
     }
 
     fn pop(&mut self) -> Option<Scheduled> {
@@ -284,6 +312,17 @@ pub struct Sim {
     /// (bounded runs return theirs through the [`RunVerdict`] instead).
     budget_failure: Option<SimError>,
     wall: std::time::Duration,
+    /// Event count at the last [`Sim::reset_profile`] (0 initially):
+    /// [`Sim::profile`] reports the window since the reset.
+    profile_base_events: u64,
+    /// Simulated nanoseconds at the last [`Sim::reset_profile`].
+    profile_base_sim_ns: u64,
+    /// Kernel push sequence number at the last [`Sim::reset_profile`]:
+    /// [`Sim::profiled_pushes`] reports the window since the reset.
+    profile_base_seq: u64,
+    /// Whether the first-run sampling tick has been scheduled; guards
+    /// against double-scheduling when stepping manually at t = 0.
+    sampling_bootstrapped: bool,
     sanitizer: Sanitizer,
 }
 
@@ -334,6 +373,10 @@ impl Sim {
             stall_run: 0,
             budget_failure: None,
             wall: std::time::Duration::ZERO,
+            profile_base_events: 0,
+            profile_base_sim_ns: 0,
+            profile_base_seq: 0,
+            sampling_bootstrapped: false,
             sanitizer: Sanitizer::default(),
         };
         if std::env::var("ROCC_SANITIZE").map(|v| v != "0").unwrap_or(false) {
@@ -380,15 +423,76 @@ impl Sim {
 
     /// Self-profiling summary: events processed, events/sec, peak
     /// event-queue length, wall-clock per simulated second. Wall time is
-    /// accumulated across all `run_until*` calls; it reads the host clock
-    /// only at run-loop entry/exit, so it cannot perturb simulated state.
+    /// accumulated across all `run_until*` and [`Sim::step`] calls; it
+    /// reads the host clock only at run-loop entry/exit, so it cannot
+    /// perturb simulated state. The window starts at construction or at
+    /// the last [`Sim::reset_profile`], whichever is later — resetting
+    /// after a warm-up loop keeps warm-up out of every rate in the
+    /// summary.
     pub fn profile(&self) -> SimProfile {
         SimProfile {
-            events_processed: self.events_processed,
+            events_processed: self.events_processed - self.profile_base_events,
             peak_event_queue: self.kernel.peak_pending(),
             wall_seconds: self.wall.as_secs_f64(),
-            sim_seconds: self.kernel.now.as_secs_f64(),
+            sim_seconds: (self.kernel.now.as_nanos() - self.profile_base_sim_ns) as f64 / 1e9,
         }
+    }
+
+    /// Re-anchor the self-profiling window at the current instant: zero
+    /// the accumulated wall clock, re-base the event and sim-time
+    /// counters, and clear the phase profiler's accumulators. Without
+    /// this, a manual [`Sim::step`] warm-up loop followed by
+    /// [`Sim::run_until_flows_done`] folds the warm-up into the same
+    /// anchors and [`Sim::profile`] double-counts it against any
+    /// external warm-up timing.
+    pub fn reset_profile(&mut self) {
+        self.wall = std::time::Duration::ZERO;
+        self.profile_base_events = self.events_processed;
+        self.profile_base_sim_ns = self.kernel.now.as_nanos();
+        self.profile_base_seq = self.kernel.seq;
+        self.kernel.prof.reset_accumulators();
+    }
+
+    /// Heap pushes in the profiling window. Derived from the kernel's
+    /// monotonic push sequence number (maintained for event ordering
+    /// regardless of the profiler), so counting pushes costs the hot
+    /// path nothing.
+    pub fn profiled_pushes(&self) -> u64 {
+        self.kernel.seq - self.profile_base_seq
+    }
+
+    /// Enable the phase profiler at the default sampling stride
+    /// ([`crate::profiler::DEFAULT_STRIDE`]). Pure observation: a
+    /// profiled run is schedule-bit-identical to an unprofiled one.
+    pub fn enable_profiler(&mut self) {
+        self.kernel.prof.enable();
+    }
+
+    /// Enable the phase profiler with a custom sampling stride (1 =
+    /// time every event).
+    pub fn enable_profiler_with_stride(&mut self, stride: u32) {
+        self.kernel.prof.enable_with_stride(stride);
+    }
+
+    /// Export the `rocc-perf-profile/v1` JSON artifact: per-phase wall
+    /// shares, scheduler introspection (push/pop totals, heap-depth
+    /// series, burst histogram, dispatch mix), and slab/fastmap load.
+    /// Meaningful after a run with [`Sim::enable_profiler`] on; without
+    /// it the phase and scheduler sections are empty but the document is
+    /// still well-formed.
+    pub fn perf_profile_json(&self) -> String {
+        let p = self.profile();
+        self.kernel.prof.report_json(&ProfileContext {
+            events: p.events_processed,
+            pushes: self.profiled_pushes(),
+            wall_ns: (p.wall_seconds * 1e9) as u64,
+            sim_ns: (p.sim_seconds * 1e9) as u64,
+            peak_heap: self.kernel.peak_pending(),
+            pending: self.kernel.pending(),
+            slab_live: self.kernel.packets.live(),
+            slab_peak: self.kernel.packets.peak_live(),
+            flow_dir_entries: self.flow_dir.len(),
+        })
     }
 
     /// Register a flow; it will activate at `spec.start`.
@@ -442,16 +546,68 @@ impl Sim {
     pub fn run_until(&mut self, t_end: SimTime) {
         let started = std::time::Instant::now();
         self.run_until_inner(t_end);
+        self.kernel.prof.run_break();
         self.wall += started.elapsed();
     }
 
-    fn run_until_inner(&mut self, t_end: SimTime) {
+    /// Schedule the first sampling tick exactly once (shared by the run
+    /// loops and [`Sim::step`], so manual stepping at t = 0 cannot
+    /// double-schedule it).
+    fn bootstrap_sampling(&mut self) {
+        if self.sampling_bootstrapped {
+            return;
+        }
         if let Some(p) = self.trace.sample_period {
             if self.kernel.now == SimTime::ZERO {
+                self.sampling_bootstrapped = true;
                 self.kernel.schedule(SimTime::ZERO + p, Event::Sample);
             }
         }
-        while let Some(s) = self.kernel.pop() {
+    }
+
+    /// Pop the next scheduled event, routing scheduler accounting
+    /// through the phase profiler (one branch each way when disabled).
+    fn pop_next(&mut self) -> Option<Scheduled> {
+        self.kernel.prof.pop_begin();
+        let s = self.kernel.pop();
+        if let Some(sch) = &s {
+            if self.kernel.prof.note_pop(sch.at.as_nanos()) {
+                let depth = self.kernel.pending();
+                let live = self.kernel.packets.live();
+                self.kernel.prof.note_heap_sample(sch.at.as_nanos(), depth, live);
+            }
+        }
+        s
+    }
+
+    /// Process exactly one pending event (manual stepping for warm-up
+    /// loops and fine-grained tests). Returns `false` when the queue is
+    /// empty. Wall time accrues to the same profile anchors as
+    /// `run_until*` — entry/exit reads of a fresh `Instant` — so
+    /// interleaving `step` loops with [`Sim::run_until_flows_done`]
+    /// never double-counts (see [`Sim::reset_profile`] to exclude the
+    /// warm-up entirely). Budget guards are not consulted here: a single
+    /// step cannot livelock.
+    pub fn step(&mut self) -> bool {
+        let started = std::time::Instant::now();
+        self.bootstrap_sampling();
+        let stepped = if let Some(s) = self.pop_next() {
+            self.kernel.now = s.at;
+            self.events_processed += 1;
+            self.dispatch(s.ev);
+            let _ = self.audit_if_due();
+            true
+        } else {
+            false
+        };
+        self.kernel.prof.run_break();
+        self.wall += started.elapsed();
+        stepped
+    }
+
+    fn run_until_inner(&mut self, t_end: SimTime) {
+        self.bootstrap_sampling();
+        while let Some(s) = self.pop_next() {
             if s.at > t_end {
                 // Not yet due: put it back and stop.
                 self.kernel.requeue(s);
@@ -529,6 +685,7 @@ impl Sim {
     pub fn run_until_flows_done(&mut self, max_t: SimTime) -> RunVerdict {
         let started = std::time::Instant::now();
         let verdict = self.run_until_flows_done_inner(max_t);
+        self.kernel.prof.run_break();
         self.wall += started.elapsed();
         self.publish_verdict(&verdict);
         verdict
@@ -536,13 +693,9 @@ impl Sim {
 
     fn run_until_flows_done_inner(&mut self, max_t: SimTime) -> RunVerdict {
         let finite = self.finite_flows;
-        if let Some(p) = self.trace.sample_period {
-            if self.kernel.now == SimTime::ZERO {
-                self.kernel.schedule(SimTime::ZERO + p, Event::Sample);
-            }
-        }
+        self.bootstrap_sampling();
         while (self.trace.fcts.len() as u64) < finite {
-            let Some(s) = self.kernel.pop() else {
+            let Some(s) = self.pop_next() else {
                 return RunVerdict::Failed(self.stall_error(finite, true));
             };
             if s.at > max_t {
@@ -614,6 +767,7 @@ impl Sim {
 
     /// Run one audit now (unconditionally; callers gate on enablement).
     fn run_audit(&mut self) -> Option<SimError> {
+        self.kernel.prof.enter(Phase::Sanitizer);
         let Sim {
             kernel,
             topo,
@@ -693,6 +847,9 @@ impl Sim {
     const HOST_DOWN_RETRY: SimDuration = SimDuration::from_micros(100);
 
     fn dispatch(&mut self, ev: Event) {
+        if self.kernel.prof.is_enabled() {
+            self.kernel.prof.dispatch_begin(ev.kind_idx());
+        }
         match ev {
             Event::Arrive { link, pr } => {
                 let (to_node, to_port) = self.topo.link(link).to;
@@ -1001,6 +1158,7 @@ impl Sim {
     }
 
     fn take_samples(&mut self) {
+        self.kernel.prof.enter(Phase::Telemetry);
         let now = self.kernel.now;
         let Some(period) = self.trace.sample_period else {
             return;
@@ -1048,6 +1206,7 @@ impl Sim {
         // the disabled path costs a single branch and the enabled path
         // cannot perturb the schedule.
         if self.trace.observatory.is_enabled() {
+            self.kernel.prof.enter(Phase::Observatory);
             for i in 0..self.trace.watched_queues().len() {
                 let (n, p) = self.trace.watched_queues()[i];
                 if let NodeSlot::Switch(sw) = &self.nodes[n.0] {
@@ -1072,6 +1231,7 @@ impl Sim {
                 self.trace.observatory.note_flow_sample(now, f, rp_bps, goodput);
             }
             self.trace.observatory.sample_tick(now);
+            self.kernel.prof.enter(Phase::Telemetry);
         }
         self.kernel.schedule(now + period, Event::Sample);
     }

@@ -9,6 +9,7 @@ use crate::cc::{AckEvent, FeedbackEvent, HostCc, HostCcCtx, RateDecision};
 use crate::engine::{Event, FlowMeta, Kernel};
 use crate::fastmap::FxHashMap;
 use crate::packet::{FlowId, IntStack, Packet, PacketKind};
+use crate::profiler::Phase;
 use crate::telemetry::{CcEvent, EventMask, SimEvent};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{LinkId, NodeId, Topology};
@@ -232,6 +233,7 @@ impl Host {
         meta: &FlowMeta,
         cc: Box<dyn HostCc>,
     ) {
+        k.prof.enter(Phase::HostCompute);
         debug_assert_eq!(meta.src, self.id);
         self.flows.insert(
             flow,
@@ -509,6 +511,7 @@ impl Host {
     /// Serialization finished: hand the packet to the uplink (it enters the
     /// wire-packet slab here).
     pub fn handle_tx_done(&mut self, k: &mut Kernel, topo: &Topology, trace: &mut Trace) {
+        k.prof.enter(Phase::HostCompute);
         let pkt = self
             .in_flight
             .take()
@@ -527,6 +530,7 @@ impl Host {
 
     /// Pacing wake-up.
     pub fn handle_wake(&mut self, k: &mut Kernel, topo: &Topology, trace: &mut Trace) {
+        k.prof.enter(Phase::HostCompute);
         self.wake_at = None;
         self.try_send(k, topo, trace);
     }
@@ -540,6 +544,7 @@ impl Host {
         flow_dir: &FxHashMap<FlowId, FlowMeta>,
         pkt: Packet,
     ) {
+        k.prof.enter(Phase::HostCompute);
         match pkt.kind {
             PacketKind::PfcPause => {
                 self.paused = true;
@@ -627,6 +632,7 @@ impl Host {
         trace: &mut Trace,
         pkt: Packet,
     ) {
+        k.prof.enter(Phase::HostCompute);
         if let PacketKind::Data { .. } = pkt.kind {
             let rf = self.recv.entry(pkt.flow).or_default();
             if !rf.complete && !rf.nack_armed {
@@ -652,6 +658,7 @@ impl Host {
     /// state from before the outage is stale (the pausing switch resyncs its
     /// own side too), so clear it and restart transmission.
     pub fn on_link_restored(&mut self, k: &mut Kernel, topo: &Topology, trace: &mut Trace) {
+        k.prof.enter(Phase::HostCompute);
         self.paused = false;
         self.try_send(k, topo, trace);
     }
@@ -745,6 +752,7 @@ impl Host {
         flow: FlowId,
         fb: FeedbackEvent,
     ) {
+        k.prof.enter(Phase::HostCompute);
         let mut ctx = self.cc_ctx(k, trace.cc_mask());
         let Some(f) = self.flows.get_mut(&flow) else {
             return;
@@ -767,6 +775,7 @@ impl Host {
         token: u8,
         gen: u64,
     ) {
+        k.prof.enter(Phase::HostCompute);
         {
             let Some(f) = self.flows.get_mut(&flow) else {
                 return;

@@ -72,6 +72,7 @@ pub mod host;
 pub mod metrics;
 pub mod packet;
 pub mod perfetto;
+pub mod profiler;
 pub mod sanitizer;
 pub mod slab;
 pub mod switch;
@@ -101,6 +102,7 @@ pub mod prelude {
     pub use crate::metrics::{MetricRow, Observatory};
     pub use crate::packet::{CpId, FlowId, IntHop, IntStack, Packet, PacketKind};
     pub use crate::perfetto::export_chrome_trace;
+    pub use crate::profiler::{DepthSample, Phase, PhaseProfiler, ProfileContext};
     pub use crate::sanitizer::{
         PauseCycleNode, PauseReport, RunVerdict, Sanitizer, SanitizerReport, SimError,
     };

@@ -14,6 +14,9 @@
 //!   on the congestion point's track, finished (`ph:"f"`) at the next RP
 //!   transition of the steered flow — the per-hop feedback path is visible
 //!   as arrows from switch to sender.
+//! * **Process 999 — engine.** Present only when the phase profiler was
+//!   enabled for the run: event-heap depth and live wire-packet slab
+//!   occupancy as counter tracks, sampled at the profiler's heap stride.
 //!
 //! Timestamps are microseconds (the Chrome trace convention); the exporter
 //! is a pure read over the collected [`crate::trace::Trace`], so exporting
@@ -29,6 +32,8 @@ use crate::time::SimTime;
 const FLOW_PID: u64 = 1;
 /// Process-id base for switches: switch n gets pid `SWITCH_PID_BASE + n`.
 const SWITCH_PID_BASE: u64 = 100;
+/// Process id of the engine-internals tracks (profiler counters).
+const ENGINE_PID: u64 = 999;
 
 fn us(t: SimTime) -> f64 {
     t.as_nanos() as f64 / 1000.0
@@ -209,6 +214,24 @@ pub fn export_chrome_trace(sim: &Sim) -> String {
         }
     }
 
+    // ---- engine internals: heap-depth / slab-occupancy counters from the
+    // phase profiler, when it was enabled for this run.
+    if sim.kernel.prof.is_enabled() && !sim.kernel.prof.heap_series().is_empty() {
+        meta_process(&mut ev, ENGINE_PID, "engine");
+        meta_thread(&mut ev, ENGINE_PID, 0, "scheduler");
+        for s in sim.kernel.prof.heap_series() {
+            let ts = us(SimTime::from_nanos(s.t_ns));
+            ev.push(format!(
+                "{{\"ph\":\"C\",\"pid\":{ENGINE_PID},\"tid\":0,\"ts\":{ts},\"name\":\"event heap depth\",\"args\":{{\"events\":{}}}}}",
+                s.heap
+            ));
+            ev.push(format!(
+                "{{\"ph\":\"C\",\"pid\":{ENGINE_PID},\"tid\":0,\"ts\":{ts},\"name\":\"slab live packets\",\"args\":{{\"packets\":{}}}}}",
+                s.slab_live
+            ));
+        }
+    }
+
     format!(
         "{{\"displayTimeUnit\":\"ns\",\"traceEvents\":[{}]}}",
         ev.join(",\n")
@@ -271,5 +294,39 @@ mod tests {
         // Every slice has non-negative duration and balanced braces.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(!json.contains("\"dur\":-"));
+        // Profiler was off: no engine-internals process in the trace.
+        assert!(!json.contains("event heap depth"));
+    }
+
+    #[test]
+    fn profiler_adds_engine_counter_tracks() {
+        let mut b = TopologyBuilder::new();
+        let sw = b.add_switch("sw", NodeRole::Switch);
+        let d = b.add_host("d");
+        b.connect(d, sw, BitRate::from_gbps(10), SimDuration::from_micros(1));
+        let s = b.add_host("s");
+        b.connect(s, sw, BitRate::from_gbps(10), SimDuration::from_micros(1));
+        let mut sim = Sim::new(
+            b.build(),
+            SimConfig::default(),
+            Box::new(NullHostCcFactory),
+            Box::new(NullSwitchCcFactory),
+        );
+        sim.enable_profiler();
+        sim.add_flow(FlowSpec {
+            id: FlowId(0),
+            src: s,
+            dst: d,
+            size: 500_000,
+            start: SimTime::ZERO,
+            offered: None,
+        });
+        sim.run_until_flows_done(SimTime::from_millis(100))
+            .assert_complete();
+        let json = export_chrome_trace(&sim);
+        assert!(json.contains("\"name\":\"engine\""));
+        assert!(json.contains("event heap depth"));
+        assert!(json.contains("slab live packets"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

@@ -17,6 +17,7 @@ use crate::cc::{CtrlEmit, PacketMeta, SwitchCc, SwitchCcCtx};
 use crate::config::BufferMode;
 use crate::engine::{Event, Kernel};
 use crate::packet::{CpId, FlowId, Packet, PacketKind, PFC_FRAME_BYTES};
+use crate::profiler::Phase;
 use crate::slab::{PacketRef, PacketSlab};
 use crate::telemetry::{CcEvent, DropCause, EventMask, SimEvent};
 use crate::time::SimTime;
@@ -295,6 +296,7 @@ impl Switch {
         in_port: PortId,
         pr: PacketRef,
     ) {
+        k.prof.enter(Phase::SwitchForward);
         let (kind, flow, dst) = {
             let pkt = k.packets.get(pr);
             (pkt.kind, pkt.flow, pkt.dst)
@@ -568,6 +570,7 @@ impl Switch {
         trace: &mut Trace,
         p: PortId,
     ) {
+        k.prof.enter(Phase::SwitchForward);
         let qp = self.ports[p.0]
             .in_flight
             .take()
@@ -589,6 +592,7 @@ impl Switch {
         trace: &mut Trace,
         p: PortId,
     ) {
+        k.prof.enter(Phase::CpTick);
         let mut ctx = self.cc_ctx(k, p, trace.cc_mask());
         self.ports[p.0].cc.on_timer(&mut ctx);
         let emits = std::mem::take(&mut ctx.emits);
@@ -618,6 +622,7 @@ impl Switch {
         trace: &mut Trace,
         p: PortId,
     ) {
+        k.prof.enter(Phase::SwitchForward);
         self.ports[p.0].paused = false;
         if self.sent_xoff[p.0] {
             let in_rate = topo.link(topo.node(self.id).in_links[p.0]).rate;

@@ -270,6 +270,90 @@ fn observatory_is_invisible_to_the_simulation() {
     }
 }
 
+/// The phase profiler obeys the same discipline: a faulted run with
+/// sampled scoped timing, scheduler introspection, and the dispatch-mix
+/// counters all live is bit-identical to the same seed with the profiler
+/// off. The profiler only reads the host clock and bumps counters — it
+/// never touches the RNG, the event queue, or CC state — so the schedule
+/// cannot shift. Pinned across the three faulted golden seeds.
+#[test]
+fn profiler_is_invisible_to_the_simulation() {
+    let run = |seed: u64, profile: bool| {
+        let (topo, srcs, dst) = dumbbell(6, 40);
+        let cfg = SimConfig {
+            seed,
+            fault_plan: FaultPlan::default()
+                .with_loss(FaultTarget::Data, 0.004)
+                .with_loss(FaultTarget::Cnp, 0.01)
+                .with_flap(
+                    LinkId(3),
+                    SimTime::from_micros(400),
+                    SimTime::from_micros(900),
+                ),
+            ..SimConfig::default()
+        };
+        let mut sim = Sim::new(
+            topo,
+            cfg,
+            Box::new(RoccHostCcFactory::new()),
+            Box::new(RoccSwitchCcFactory::new()),
+        );
+        sim.trace.sample_period = Some(SimDuration::from_micros(10));
+        sim.trace.watch_queue(NodeId(0), PortId(0));
+        if profile {
+            sim.enable_profiler();
+        }
+        for (i, &s) in srcs.iter().enumerate() {
+            sim.add_flow(FlowSpec {
+                id: FlowId(i as u64),
+                src: s,
+                dst,
+                size: 1_000_000,
+                start: SimTime::ZERO,
+                offered: None,
+            });
+        }
+        let done = sim.run_until_flows_done(SimTime::from_millis(100)).is_complete();
+        assert!(done, "faulted incast must complete within the horizon");
+        // The deterministic slice of the profiler's output: everything
+        // except wall-clock timings (counts, scheduler stats, dispatch mix,
+        // burst histogram, heap-depth series are pure functions of the
+        // schedule).
+        let introspection = if profile {
+            let pushes = sim.profiled_pushes();
+            let p = &sim.kernel.prof;
+            assert_eq!(p.pops(), sim.events_processed(), "every pop dispatched");
+            assert!(pushes > 0, "no pushes counted");
+            assert!(p.timed_events() > 0, "sampling never triggered");
+            assert!(!p.heap_series().is_empty(), "no heap-depth series");
+            assert!(p.burst_histogram().count() > 0, "no burst samples");
+            format!(
+                "{:?}|{:?}|{}|{}|{:?}",
+                p.dispatch_mix(),
+                p.heap_series(),
+                pushes,
+                p.pops(),
+                p.burst_histogram().to_json("events")
+            )
+        } else {
+            assert_eq!(sim.kernel.prof.pops(), 0, "profiler ran while disabled");
+            String::new()
+        };
+        (summarize(&sim), introspection)
+    };
+    for seed in [1u64, 7, 42] {
+        let (plain, _) = run(seed, false);
+        let (profiled, intro_a) = run(seed, true);
+        assert_eq!(
+            plain, profiled,
+            "the phase profiler perturbed the run at seed {seed}"
+        );
+        // And the schedule-derived introspection is itself deterministic.
+        let (_, intro_b) = run(seed, true);
+        assert_eq!(intro_a, intro_b, "profiler introspection not deterministic");
+    }
+}
+
 /// Determinism of the telemetry itself: two instrumented runs of the same
 /// seed produce the identical event log and metrics export.
 #[test]

@@ -1,0 +1,169 @@
+//! Integration tests for the engine performance observatory: the
+//! `rocc-perf-profile/v1` artifact, the manual-stepping API, and the
+//! reset-safe `Sim::profile` window (the warm-up double-count regression).
+
+use rocc_core::{RoccHostCcFactory, RoccSwitchCcFactory};
+use rocc_sim::prelude::*;
+
+fn dumbbell(n: usize, gbps: u64) -> (Topology, Vec<NodeId>, NodeId) {
+    let mut b = TopologyBuilder::new();
+    let sw = b.add_switch("sw", NodeRole::Switch);
+    let dst = b.add_host("dst");
+    b.connect(sw, dst, BitRate::from_gbps(gbps), SimDuration::from_micros(1));
+    let mut srcs = Vec::new();
+    for i in 0..n {
+        let h = b.add_host(format!("s{i}"));
+        b.connect(h, sw, BitRate::from_gbps(gbps), SimDuration::from_micros(1));
+        srcs.push(h);
+    }
+    (b.build(), srcs, dst)
+}
+
+fn incast(seed: u64) -> Sim {
+    let (topo, srcs, dst) = dumbbell(4, 40);
+    let cfg = SimConfig {
+        seed,
+        ..SimConfig::default()
+    };
+    let mut sim = Sim::new(
+        topo,
+        cfg,
+        Box::new(RoccHostCcFactory::new()),
+        Box::new(RoccSwitchCcFactory::new()),
+    );
+    sim.trace.sample_period = Some(SimDuration::from_micros(10));
+    for (i, &s) in srcs.iter().enumerate() {
+        sim.add_flow(FlowSpec {
+            id: FlowId(i as u64),
+            src: s,
+            dst,
+            size: 500_000,
+            start: SimTime::ZERO,
+            offered: None,
+        });
+    }
+    sim
+}
+
+/// Regression (ISSUE 7 satellite): `Sim::profile` used to double-count
+/// warm-up work when `run_until_flows_done` followed a manual `step` loop
+/// — the events/sim-time window was anchored at construction, not at the
+/// last reset. `reset_profile` re-bases all three anchors (wall, events,
+/// sim time), so the reported window covers exactly the post-reset run.
+#[test]
+fn profile_window_excludes_stepped_warmup_after_reset() {
+    let mut sim = incast(7);
+    // Warm up by manual stepping.
+    const WARMUP: u64 = 500;
+    for _ in 0..WARMUP {
+        assert!(sim.step(), "warm-up drained the event heap");
+    }
+    assert_eq!(sim.events_processed(), WARMUP);
+    let warm = sim.profile();
+    assert_eq!(warm.events_processed, WARMUP);
+    assert!(warm.sim_seconds > 0.0);
+
+    sim.reset_profile();
+    // Immediately after a reset the window is empty on every axis.
+    let fresh = sim.profile();
+    assert_eq!(fresh.events_processed, 0);
+    assert_eq!(fresh.wall_seconds, 0.0);
+    assert_eq!(fresh.sim_seconds, 0.0);
+
+    sim.run_until_flows_done(SimTime::from_millis(100))
+        .assert_complete();
+    let total = sim.events_processed();
+    let p = sim.profile();
+    // The window covers only the post-reset run: warm-up events are not
+    // double-counted into events/sec.
+    assert_eq!(p.events_processed, total - WARMUP);
+    assert!(p.wall_seconds > 0.0);
+    assert!(p.sim_seconds > 0.0);
+    assert!(p.events_per_sec().is_finite() && p.events_per_sec() > 0.0);
+}
+
+/// A run driven entirely by `Sim::step` is bit-identical to the same seed
+/// driven by `run_until_flows_done` — stepping is the same engine loop,
+/// one event at a time (including the one-shot sampling bootstrap).
+#[test]
+fn stepped_run_matches_batch_run() {
+    let mut batch = incast(42);
+    batch
+        .run_until_flows_done(SimTime::from_millis(100))
+        .assert_complete();
+
+    let mut stepped = incast(42);
+    while stepped.trace.fcts.len() < 4 {
+        assert!(stepped.step(), "event heap drained before flows finished");
+    }
+
+    assert_eq!(batch.events_processed(), stepped.events_processed());
+    let fcts = |s: &Sim| -> Vec<(FlowId, u64)> {
+        s.trace.fcts.iter().map(|r| (r.flow, r.end.as_nanos())).collect()
+    };
+    assert_eq!(fcts(&batch), fcts(&stepped));
+    assert_eq!(batch.trace.drops, stepped.trace.drops);
+    assert_eq!(batch.trace.ctrl_emitted, stepped.trace.ctrl_emitted);
+}
+
+/// Acceptance: the `rocc-perf-profile/v1` artifact carries per-phase
+/// shares that sum to within 5% of the total, plus the scheduler
+/// introspection blocks (heap-depth series, burst histogram, dispatch
+/// mix, slab and fastmap load).
+#[test]
+fn perf_profile_artifact_is_complete_and_consistent() {
+    let mut sim = incast(1);
+    sim.enable_profiler();
+    sim.run_until_flows_done(SimTime::from_millis(100))
+        .assert_complete();
+
+    let shares = sim.kernel.prof.phase_shares(sim.profiled_pushes());
+    let total: f64 = shares.iter().map(|(_, share, _)| share).sum();
+    assert!(
+        (total - 1.0).abs() < 0.05,
+        "phase shares sum to {total}, expected 1.0 ± 0.05"
+    );
+    // Counts are exact even though timing is sampled: every phase that the
+    // incast exercises shows up.
+    let count_of = |name: &str| -> u64 {
+        shares
+            .iter()
+            .find(|(n, _, _)| *n == name)
+            .map(|(_, _, c)| *c)
+            .unwrap_or(0)
+    };
+    for phase in ["sched_pop", "switch_forward", "host_compute", "cp_tick", "dispatch"] {
+        assert!(count_of(phase) > 0, "phase {phase} never entered");
+    }
+
+    let json = sim.perf_profile_json();
+    assert!(json.contains("\"schema\":\"rocc-perf-profile/v1\""));
+    assert!(json.contains("\"phases\":["));
+    assert!(json.contains("\"burst_hist\":"));
+    assert!(json.contains("\"heap_depth_series\":["));
+    assert!(json.contains("\"dispatch_mix\":["));
+    assert!(json.contains("\"flow_dir_entries\":4"));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+}
+
+/// The profiler composes with `reset_profile`: a profiled warm-up can be
+/// discarded and the artifact then reports only the measured window.
+#[test]
+fn profiler_accumulators_follow_the_profile_window() {
+    let mut sim = incast(7);
+    sim.enable_profiler_with_stride(8);
+    for _ in 0..200 {
+        assert!(sim.step());
+    }
+    assert!(sim.kernel.prof.pops() > 0);
+    sim.reset_profile();
+    assert_eq!(sim.kernel.prof.pops(), 0, "reset kept scheduler counters");
+
+    sim.run_until_flows_done(SimTime::from_millis(100))
+        .assert_complete();
+    let total = sim.events_processed();
+    // Post-reset pops cover exactly the post-warm-up events.
+    assert_eq!(sim.kernel.prof.pops(), total - 200);
+    assert!(sim.kernel.prof.timed_events() > 0);
+}

@@ -22,6 +22,15 @@ pub mod prelude {
     pub use crate::{FromParallelIterator, IntoParallelIterator, ParallelIterator};
 }
 
+/// Number of worker threads the pool would use for an unbounded workload:
+/// `RAYON_NUM_THREADS` if set, else the host's available parallelism.
+/// Mirrors real rayon's `current_num_threads` so callers can report the
+/// fan-out width they actually got (an actual run uses
+/// `min(current_num_threads(), items)` — see [`execute`]).
+pub fn current_num_threads() -> usize {
+    num_threads()
+}
+
 /// Number of worker threads to use.
 fn num_threads() -> usize {
     if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
