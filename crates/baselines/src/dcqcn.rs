@@ -255,6 +255,32 @@ impl HostCc for DcqcnHostCc {
             }
         }
     }
+
+    fn snapshot_state(&self, out: &mut Vec<u64>) {
+        out.push(self.rc.as_bps());
+        out.push(self.rt.as_bps());
+        out.push(self.alpha.to_bits());
+        match self.last_cnp {
+            None => out.extend_from_slice(&[0, 0]),
+            Some(t) => out.extend_from_slice(&[1, t.as_nanos()]),
+        }
+        out.push(self.t_count as u64);
+        out.push(self.bc_count as u64);
+        out.push(self.bytes_since_increase);
+    }
+
+    fn restore_state(&mut self, state: &[u64]) {
+        let [rc, rt, alpha, has_cnp, cnp_ns, t_count, bc_count, bytes] = state else {
+            return; // digest-verified upstream; short input is a no-op
+        };
+        self.rc = BitRate::from_bps(*rc);
+        self.rt = BitRate::from_bps(*rt);
+        self.alpha = f64::from_bits(*alpha);
+        self.last_cnp = (*has_cnp != 0).then(|| SimTime::from_nanos(*cnp_ns));
+        self.t_count = *t_count as u32;
+        self.bc_count = *bc_count as u32;
+        self.bytes_since_increase = *bytes;
+    }
 }
 
 /// Factory for [`DcqcnHostCc`].

@@ -137,6 +137,69 @@ impl FairRateCalculator {
         self.last_update
     }
 
+    /// Number of words [`FairRateCalculator::snapshot_state`] appends —
+    /// the codec is fixed-width so callers can split concatenated state.
+    pub const STATE_WORDS: usize = 12;
+
+    /// Append the calculator's dynamic state (F, Qold, last gains/region,
+    /// last-update snapshot) as plain words for the engine snapshot layer.
+    /// Parameters are construction-time configuration and are not captured.
+    pub fn snapshot_state(&self, out: &mut Vec<u64>) {
+        out.push(self.f.raw() as u64);
+        out.push(self.q_old as u64);
+        out.push(self.last_gains.0.raw() as u64);
+        out.push(self.last_gains.1.raw() as u64);
+        out.push(self.last_region as u64);
+        match self.last_update {
+            None => out.extend_from_slice(&[0; 7]),
+            Some(lu) => {
+                out.push(1);
+                out.push(match lu.kind {
+                    UpdateKind::MdToMin => 0,
+                    UpdateKind::MdHalve => 1,
+                    UpdateKind::Pi => 2,
+                });
+                out.push(lu.fair_rate_units as u64);
+                out.push(lu.alpha.to_bits());
+                out.push(lu.beta.to_bits());
+                out.push(lu.region as u64);
+                out.push(lu.q_cur_bytes);
+            }
+        }
+    }
+
+    /// Restore state captured by [`FairRateCalculator::snapshot_state`].
+    /// Short input leaves the calculator unchanged — the engine verifies
+    /// snapshot digests before this is ever reached.
+    pub fn restore_state(&mut self, state: &[u64]) {
+        if state.len() < Self::STATE_WORDS {
+            return;
+        }
+        self.f = Fx::from_raw(state[0] as i64);
+        self.q_old = state[1] as i64;
+        self.last_gains = (
+            Fx::from_raw(state[2] as i64),
+            Fx::from_raw(state[3] as i64),
+        );
+        self.last_region = state[4] as u32;
+        self.last_update = if state[5] == 1 {
+            Some(LastUpdate {
+                kind: match state[6] {
+                    0 => UpdateKind::MdToMin,
+                    1 => UpdateKind::MdHalve,
+                    _ => UpdateKind::Pi,
+                },
+                fair_rate_units: state[7] as u32,
+                alpha: f64::from_bits(state[8]),
+                beta: f64::from_bits(state[9]),
+                region: state[10] as u32,
+                q_cur_bytes: state[11],
+            })
+        } else {
+            None
+        };
+    }
+
     /// Alg. 1 `Auto_Tune`: quantize `[Fmin, Fmax]` into six power-of-two
     /// regions and scale the static gains by the region's ratio.
     fn auto_tune(&mut self) -> (Fx, Fx) {

@@ -61,6 +61,12 @@ impl Fx {
         self.0
     }
 
+    /// Rebuild from a raw representation captured with [`Fx::raw`]
+    /// (exact checkpoint/restore of register state).
+    pub const fn from_raw(raw: i64) -> Fx {
+        Fx(raw)
+    }
+
     /// Multiply by an integer, saturating (hardware-register semantics).
     pub const fn mul_int(self, v: i64) -> Fx {
         Fx(self.0.saturating_mul(v))

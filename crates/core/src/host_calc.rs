@@ -121,6 +121,56 @@ impl HostCc for HostCalcRoccCc {
         self.r_cur = self.r_cur.saturating_double();
         ctx.set_timer(RECOVERY_TOKEN, self.p.recovery_timer);
     }
+
+    fn snapshot_state(&self, out: &mut Vec<u64>) {
+        out.push(self.calcs.len() as u64);
+        let mut cps: Vec<_> = self.calcs.keys().copied().collect();
+        cps.sort_unstable_by_key(|cp| (cp.node.0, cp.port.0));
+        for cp in cps {
+            out.push(cp.node.0 as u64);
+            out.push(cp.port.0 as u64);
+            let calc = &self.calcs[&cp];
+            // Fmax doubles as the profile key (see `params_for_f_max`), so
+            // replicas can be reconstructed without serializing parameters.
+            out.push(calc.params().f_max as u64);
+            calc.snapshot_state(out);
+        }
+        out.push(self.r_cur.as_bps());
+        out.push(self.installed as u64);
+        match self.cp_cur {
+            None => out.extend_from_slice(&[0, 0, 0]),
+            Some(cp) => out.extend_from_slice(&[1, cp.node.0 as u64, cp.port.0 as u64]),
+        }
+    }
+
+    fn restore_state(&mut self, state: &[u64]) {
+        let per_entry = 3 + FairRateCalculator::STATE_WORDS;
+        let Some((&n, rest)) = state.split_first() else {
+            return; // digest-verified upstream; short input is a no-op
+        };
+        let n = n as usize;
+        if rest.len() != n * per_entry + 5 {
+            return;
+        }
+        let mut calcs = HashMap::new();
+        for e in rest[..n * per_entry].chunks_exact(per_entry) {
+            let cp = CpId {
+                node: rocc_sim::prelude::NodeId(e[0] as usize),
+                port: rocc_sim::prelude::PortId(e[1] as usize),
+            };
+            let mut calc = FairRateCalculator::new(params_for_f_max(e[2] as u32));
+            calc.restore_state(&e[3..]);
+            calcs.insert(cp, calc);
+        }
+        let tail = &rest[n * per_entry..];
+        self.calcs = calcs;
+        self.r_cur = BitRate::from_bps(tail[0]);
+        self.installed = tail[1] != 0;
+        self.cp_cur = (tail[2] != 0).then(|| CpId {
+            node: rocc_sim::prelude::NodeId(tail[3] as usize),
+            port: rocc_sim::prelude::PortId(tail[4] as usize),
+        });
+    }
 }
 
 /// Factory installing [`HostCalcRoccCc`] on every flow.

@@ -12,7 +12,7 @@ use rocc_experiments::fct::{
     fct_comparison_supervised, fold_increase, table3, BufferRegime, SchemeFcts, Workload,
 };
 use rocc_experiments::parallel::ExecMode;
-use rocc_experiments::supervisor::{CampaignReport, Supervisor};
+use rocc_experiments::supervisor::{CampaignReport, SnapshotStore, Supervisor};
 use rocc_experiments::{analytic, micro, observatory, table1, Scale};
 use rocc_sim::prelude::{write_artifact, Sample};
 
@@ -750,10 +750,17 @@ fn main() {
             let seeds: Vec<u64> =
                 (0..nseeds).map(|i| observatory::GOLDEN_SEED + i).collect();
             let journal = format!("{dir}/checkpoint.jsonl");
+            let snapshots = SnapshotStore::new(format!("{dir}/snapshots"));
             let sweep_sup = Supervisor::new(mode)
                 .with_fail_fast(fail_fast)
                 .with_journal(&journal);
-            let Some(out) = observatory::sweep(scenario, scale, &seeds, &sweep_sup) else {
+            let Some(out) = observatory::sweep_with_snapshots(
+                scenario,
+                scale,
+                &seeds,
+                &sweep_sup,
+                Some(&snapshots),
+            ) else {
                 eprintln!("unknown sweep scenario: {scenario}");
                 eprintln!("scenarios: {}", observatory::SCENARIOS.join(" "));
                 std::process::exit(2);
@@ -776,6 +783,120 @@ fn main() {
                 println!("  wrote {path}");
             }
             finish(std::slice::from_ref(rep));
+        }
+        "snapshot" => {
+            let mode = args.get(2).map(String::as_str).unwrap_or("");
+            let usage = "usage: repro snapshot save <file> [scenario] [quick|paper] [seed] [events]\n\
+                         \x20      repro snapshot restore <file> [scenario] [quick|paper] [seed]\n\
+                         \x20      repro snapshot inspect <file>";
+            let Some(file) = args.get(3).map(String::as_str) else {
+                eprintln!("{usage}");
+                std::process::exit(2);
+            };
+            let scenario = args.get(4).map(String::as_str).unwrap_or("incast");
+            let scale = args
+                .get(5)
+                .and_then(|s| Scale::parse(s))
+                .unwrap_or(Scale::Quick);
+            let seed: u64 = args
+                .get(6)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(observatory::GOLDEN_SEED);
+            match mode {
+                "save" => {
+                    let events: u64 =
+                        args.get(7).and_then(|s| s.parse().ok()).unwrap_or(20_000);
+                    let Some((mut sim, _, _)) =
+                        observatory::scenario_sim(scenario, scale, seed)
+                    else {
+                        eprintln!("unknown snapshot scenario: {scenario}");
+                        std::process::exit(2);
+                    };
+                    while sim.events_processed() < events && sim.step() {}
+                    let bytes = sim.snapshot();
+                    if let Some(parent) = std::path::Path::new(file).parent() {
+                        std::fs::create_dir_all(parent).ok();
+                    }
+                    if let Err(e) = std::fs::write(file, &bytes) {
+                        eprintln!("cannot write {file}: {e}");
+                        std::process::exit(1);
+                    }
+                    println!(
+                        "wrote {file}: {} bytes at event {} (t={} ns)",
+                        bytes.len(),
+                        sim.events_processed(),
+                        sim.kernel.now.as_nanos(),
+                    );
+                }
+                "restore" => {
+                    let bytes = match std::fs::read(file) {
+                        Ok(b) => b,
+                        Err(e) => {
+                            eprintln!("cannot read {file}: {e}");
+                            std::process::exit(1);
+                        }
+                    };
+                    let Some((mut sim, flows, horizon)) =
+                        observatory::scenario_sim(scenario, scale, seed)
+                    else {
+                        eprintln!("unknown snapshot scenario: {scenario}");
+                        std::process::exit(2);
+                    };
+                    if let Err(e) = sim.restore(&bytes) {
+                        eprintln!("restore failed: {e}");
+                        std::process::exit(1);
+                    }
+                    let verdict = sim.run_until_flows_done(horizon);
+                    let resumed = observatory::digest(&sim.trace.observatory.to_jsonl());
+                    println!(
+                        "resumed {scenario}: {}/{flows} flows completed, metrics digest {resumed}",
+                        sim.trace.fcts.len(),
+                    );
+                    // Control: the same run uninterrupted. Identical
+                    // metrics prove the snapshot changed nothing.
+                    let control = observatory::observe(scenario, scale, seed)
+                        .expect("scenario validated above");
+                    let control_digest = observatory::digest(&control.metrics_jsonl);
+                    if resumed == control_digest && verdict.err().is_none() {
+                        println!("MATCH: resumed run is byte-identical to the uninterrupted control");
+                    } else {
+                        eprintln!(
+                            "MISMATCH: control digest {control_digest}, resumed {resumed}"
+                        );
+                        std::process::exit(1);
+                    }
+                }
+                "inspect" => {
+                    let bytes = match std::fs::read(file) {
+                        Ok(b) => b,
+                        Err(e) => {
+                            eprintln!("cannot read {file}: {e}");
+                            std::process::exit(1);
+                        }
+                    };
+                    match rocc_sim::snapshot::inspect(&bytes) {
+                        Ok(info) => {
+                            println!("{file}: rocc-snapshot/v1");
+                            println!("  seed:             {}", info.seed);
+                            println!("  config digest:    {:016x}", info.config_digest);
+                            println!("  sim time:         {} ns", info.now_ns);
+                            println!("  events processed: {}", info.events_processed);
+                            println!(
+                                "  size:             {} bytes ({} body)",
+                                info.total_len, info.body_len
+                            );
+                        }
+                        Err(e) => {
+                            eprintln!("{file}: invalid snapshot: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+                other => {
+                    eprintln!("unknown snapshot mode: {other}\n{usage}");
+                    std::process::exit(2);
+                }
+            }
         }
         "compare" => {
             let (Some(a), Some(b)) = (args.get(2), args.get(3)) else {
@@ -857,7 +978,8 @@ fn main() {
             println!("       repro trace <scenario|all> [dir] [quick|paper]   (telemetry timeline + BENCH_sim.json)");
             println!("       repro observe <scenario> [dir] [quick|paper] [seed]   (metrics JSONL + Perfetto trace + manifest)");
             println!("       repro profile <scenario> [dir] [quick|paper] [seed]   (phase profiler: rocc-perf-profile/v1 + Perfetto engine counters)");
-            println!("       repro sweep <scenario> [dir] [quick|paper] [nseeds] [serial|parallel]   (checkpointed multi-seed campaign, resumable)");
+            println!("       repro sweep <scenario> [dir] [quick|paper] [nseeds] [serial|parallel]   (checkpointed multi-seed campaign, resumable mid-cell)");
+            println!("       repro snapshot save|restore|inspect <file> [scenario] [quick|paper] [seed] [events]   (engine snapshots by hand)");
             println!("       repro compare <runA> <runB>   (cross-run fidelity gate)");
             println!("       repro golden [check|write] [path]   (pinned-run digest gate)");
             println!("supervised subcommands exit nonzero with a campaign-report JSON on any cell failure;");

@@ -27,7 +27,9 @@
 use crate::micro;
 use crate::scenarios;
 use crate::schemes::Scheme;
-use crate::supervisor::{CampaignReport, FnCodec, Supervisor};
+use crate::supervisor::{
+    CampaignReport, CellSnapshot, FnCodec, SnapshotStore, Supervisor,
+};
 use crate::Scale;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -136,6 +138,21 @@ pub fn observe(scenario: &str, scale: Scale, seed: u64) -> Option<ObserveRun> {
     }
 }
 
+/// Crash-recoverable variant of [`observe`]: resumes from the cell's
+/// journaled snapshot when one exists and keeps checkpointing while it
+/// runs. `None` for an unknown scenario name.
+pub fn observe_resumable(
+    scenario: &str,
+    scale: Scale,
+    seed: u64,
+    snap: &CellSnapshot,
+) -> Option<ObserveRun> {
+    match scenario {
+        "incast" => Some(incast_resumable(scale, seed, snap)),
+        _ => None,
+    }
+}
+
 /// The seed-zeroed simulator config a scenario runs, rendered with
 /// `Debug` — the input to the manifest's config hash and to sweep
 /// journal keys (computable without running the scenario). `None` for an
@@ -159,6 +176,53 @@ pub fn scenario_config_debug(scenario: &str) -> Option<String> {
 /// different seeds genuinely produce different runs (the fabric itself is
 /// single-path, so the topology alone would not consume the seed).
 pub fn incast(scale: Scale, seed: u64) -> ObserveRun {
+    let (sim, n, horizon) = build_incast(scale, seed);
+    finish_incast(sim, n, horizon, scale, seed)
+}
+
+/// Auto-checkpoint stride (events) for sweep cells. Coarse enough that
+/// the save cost stays in the noise for quick cells, fine enough that a
+/// crash mid-cell loses at most a fraction of a paper-scale run.
+pub const SWEEP_CHECKPOINT_STRIDE: u64 = 20_000;
+
+/// [`incast`] with sub-cell crash recovery: if the cell's snapshot store
+/// holds a journaled checkpoint for this cell, restore it into an
+/// identically rebuilt sim and continue from there; otherwise start
+/// fresh. Either way the run keeps journaling checkpoints through
+/// `snap`'s sink. A snapshot that fails the engine's seed/config-digest
+/// check (stale config, deep corruption) is discarded and the cell
+/// restarts from scratch — never quarantined.
+pub fn incast_resumable(scale: Scale, seed: u64, snap: &CellSnapshot) -> ObserveRun {
+    let (mut sim, n, horizon) = build_incast(scale, seed);
+    if let Some(bytes) = &snap.resume {
+        if sim.restore(bytes).is_err() {
+            // Restore may leave the sim partially overwritten on error:
+            // discard it and rebuild for a clean fresh start.
+            sim = build_incast(scale, seed).0;
+        }
+    }
+    sim.enable_auto_checkpoint(SWEEP_CHECKPOINT_STRIDE, snap.sink());
+    finish_incast(sim, n, horizon, scale, seed)
+}
+
+/// Build (without running) the sim a named scenario would run — the
+/// entry point `repro snapshot save/restore` uses to step, checkpoint,
+/// and resume a run by hand. Returns the sim, its flow count, and the
+/// run horizon. `None` for an unknown scenario name.
+pub fn scenario_sim(
+    scenario: &str,
+    scale: Scale,
+    seed: u64,
+) -> Option<(Sim, usize, SimTime)> {
+    match scenario {
+        "incast" => Some(build_incast(scale, seed)),
+        _ => None,
+    }
+}
+
+/// Everything [`incast`] does up to (not including) running the sim, so
+/// the resumable path can rebuild an identical sim to restore into.
+fn build_incast(scale: Scale, seed: u64) -> (Sim, usize, SimTime) {
     let (n, size, horizon) = match scale {
         Scale::Quick => (8usize, 2_000_000u64, SimTime::from_millis(200)),
         Scale::Paper => (16, 10_000_000, SimTime::from_millis(1000)),
@@ -168,8 +232,6 @@ pub fn incast(scale: Scale, seed: u64) -> ObserveRun {
         seed,
         ..SimConfig::default()
     };
-    let config_debug =
-        scenario_config_debug("incast").expect("incast is a known scenario");
     let mut sim = micro::sim_with(d.topo, Scheme::Rocc, 7, cfg);
     sim.trace.telemetry.collect(EventMask::ALL);
     sim.trace.observatory.enable();
@@ -187,6 +249,19 @@ pub fn incast(scale: Scale, seed: u64) -> ObserveRun {
             offered: None,
         });
     }
+    (sim, n, horizon)
+}
+
+/// Run a built incast sim to its horizon and package the artifacts.
+fn finish_incast(
+    mut sim: Sim,
+    n: usize,
+    horizon: SimTime,
+    scale: Scale,
+    seed: u64,
+) -> ObserveRun {
+    let config_debug =
+        scenario_config_debug("incast").expect("incast is a known scenario");
     let verdict = sim.run_until_flows_done(horizon);
     ObserveRun {
         scenario: "incast",
@@ -324,6 +399,22 @@ pub fn sweep(
     seeds: &[u64],
     sup: &Supervisor,
 ) -> Option<SweepOutcome> {
+    sweep_with_snapshots(scenario, scale, seeds, sup, None)
+}
+
+/// [`sweep`] with optional sub-cell crash recovery: when a
+/// [`SnapshotStore`] is supplied, every in-flight cell journals engine
+/// snapshots as it runs and a resumed campaign restarts unfinished cells
+/// from their latest checkpoint instead of from scratch. Finished cells
+/// still replay from the supervisor's journal; the aggregate is
+/// byte-identical either way.
+pub fn sweep_with_snapshots(
+    scenario: &str,
+    scale: Scale,
+    seeds: &[u64],
+    sup: &Supervisor,
+    snapshots: Option<&SnapshotStore>,
+) -> Option<SweepOutcome> {
     let config_hash = digest(&scenario_config_debug(scenario)?);
     let cells: Vec<(String, u64)> = seeds
         .iter()
@@ -331,14 +422,22 @@ pub fn sweep(
         .collect();
     let codec = FnCodec(SweepCellSummary::to_json, SweepCellSummary::from_json);
     let scenario_owned = scenario.to_string();
-    let campaign = sup.run(cells, &codec, move |&seed| {
-        let run = observe(&scenario_owned, scale, seed)
-            .expect("scenario validated before the campaign started");
-        match run.verdict.err() {
-            Some(e) => Err(e.clone()),
-            None => Ok(SweepCellSummary::from_run(&run)),
-        }
-    });
+    let summarize = |run: ObserveRun| match run.verdict.err() {
+        Some(e) => Err(e.clone()),
+        None => Ok(SweepCellSummary::from_run(&run)),
+    };
+    let campaign = match snapshots {
+        Some(store) => sup.run_resumable(store, cells, &codec, move |&seed, snap| {
+            let run = observe_resumable(&scenario_owned, scale, seed, &snap)
+                .expect("scenario validated before the campaign started");
+            summarize(run)
+        }),
+        None => sup.run(cells, &codec, move |&seed| {
+            let run = observe(&scenario_owned, scale, seed)
+                .expect("scenario validated before the campaign started");
+            summarize(run)
+        }),
+    };
     let report = campaign.report();
     Some(SweepOutcome {
         scenario: scenario.to_string(),

@@ -578,6 +578,129 @@ impl Supervisor {
     }
 }
 
+/// Per-cell snapshot persistence for sub-cell crash recovery. One
+/// `rocc-snapshot/v1` file per cell key, always holding the *latest*
+/// checkpoint (each save atomically replaces the previous one via a
+/// tmp-file + rename). Loads are digest-verified by
+/// [`rocc_sim::snapshot::inspect`]; any anomaly — torn write, bit rot,
+/// wrong version — yields `None` and the cell simply restarts from
+/// scratch. Snapshots are deleted when their cell completes, so the
+/// store only ever holds in-flight cells.
+#[derive(Debug, Clone)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+}
+
+impl SnapshotStore {
+    /// A store rooted at `dir` (created lazily on first save).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        SnapshotStore { dir: dir.into() }
+    }
+
+    /// The snapshot file for a cell key. Keys are FNV-hashed so arbitrary
+    /// key strings (slashes, spaces) map to safe fixed-width file names.
+    pub fn path_for(&self, key: &str) -> PathBuf {
+        self.dir
+            .join(format!("{:016x}.snap", rocc_sim::snapshot::fnv1a(key.as_bytes())))
+    }
+
+    /// Persist `bytes` as the cell's latest checkpoint. Atomic: the bytes
+    /// land in a tmp file first and replace the old snapshot via rename,
+    /// so a crash mid-save leaves the previous checkpoint intact.
+    /// Best-effort — a full disk degrades to coarser recovery, never to a
+    /// failed cell.
+    pub fn save(&self, key: &str, bytes: &[u8]) {
+        let path = self.path_for(key);
+        let _ = std::fs::create_dir_all(&self.dir);
+        let tmp = path.with_extension("snap.tmp");
+        if std::fs::write(&tmp, bytes).is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+    }
+
+    /// Load the cell's journaled checkpoint, digest-verified. `None` on
+    /// any anomaly (missing, truncated, corrupt) — the caller falls back
+    /// to a fresh cell run. Note this validates the *container*; a stale
+    /// snapshot from a different config is caught by `Sim::restore`'s
+    /// seed/config-digest check at restore time.
+    pub fn load(&self, key: &str) -> Option<Vec<u8>> {
+        let bytes = std::fs::read(self.path_for(key)).ok()?;
+        rocc_sim::snapshot::inspect(&bytes).ok()?;
+        Some(bytes)
+    }
+
+    /// Drop the cell's checkpoint (called when the cell completes).
+    pub fn remove(&self, key: &str) {
+        let _ = std::fs::remove_file(self.path_for(key));
+    }
+}
+
+/// Snapshot plumbing handed to each cell by [`Supervisor::run_resumable`]:
+/// the previous crash's checkpoint (if one was journaled and survives
+/// digest verification) and an owned sink for
+/// `Sim::enable_auto_checkpoint`.
+pub struct CellSnapshot {
+    /// Digest-verified snapshot bytes journaled by a previous run of this
+    /// cell, or `None` to start fresh. Feed to `Sim::restore` on an
+    /// identically rebuilt `Sim`; if restore errors (stale config, deeper
+    /// corruption), discard that `Sim`, rebuild, and run from the start —
+    /// a failed restore leaves the target partially overwritten.
+    pub resume: Option<Vec<u8>>,
+    store: SnapshotStore,
+    key: String,
+}
+
+impl CellSnapshot {
+    /// An owned checkpoint sink suitable for `Sim::enable_auto_checkpoint`:
+    /// every fired checkpoint atomically replaces this cell's journaled
+    /// snapshot.
+    pub fn sink(&self) -> rocc_sim::prelude::CheckpointSink {
+        let store = self.store.clone();
+        let key = self.key.clone();
+        Box::new(move |_events, bytes| store.save(&key, bytes))
+    }
+}
+
+impl Supervisor {
+    /// Like [`Supervisor::run`], with sub-cell crash recovery: each cell
+    /// receives a [`CellSnapshot`] carrying the latest journaled
+    /// checkpoint from a previous (crashed or killed) campaign plus a
+    /// sink for new checkpoints. Completed cells have their snapshot
+    /// deleted; corrupt or stale snapshots fall back to a fresh cell run
+    /// (never quarantine). Panic retries reload the latest checkpoint, so
+    /// even an attempt that dies mid-cell resumes from where it got to.
+    pub fn run_resumable<T, R, F, C>(
+        &self,
+        store: &SnapshotStore,
+        cells: Vec<(String, T)>,
+        codec: &C,
+        run_fn: F,
+    ) -> Campaign<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(&T, CellSnapshot) -> Result<R, SimError> + Sync + Send,
+        C: CellCodec<R> + Sync,
+    {
+        let keyed: Vec<(String, (String, T))> = cells
+            .into_iter()
+            .map(|(k, t)| (k.clone(), (k, t)))
+            .collect();
+        self.run(keyed, codec, |(key, payload)| {
+            let snap = CellSnapshot {
+                resume: store.load(key),
+                store: store.clone(),
+                key: key.clone(),
+            };
+            let out = run_fn(payload, snap);
+            if out.is_ok() {
+                store.remove(key); // cell finished; its checkpoint is spent
+            }
+            out
+        })
+    }
+}
+
 /// Render one journal line (newline-terminated) for a finished cell.
 fn journal_line<R, C: CellCodec<R>>(
     key: &str,

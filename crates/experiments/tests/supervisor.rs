@@ -8,8 +8,10 @@ use proptest::prelude::*;
 use rocc_experiments::observatory;
 use rocc_experiments::parallel::ExecMode;
 use rocc_experiments::supervisor::{
-    scratch_path, FnCodec, NoCache, RetryPolicy, Supervisor,
+    scratch_path, CellSnapshot, FnCodec, NoCache, RetryPolicy, SnapshotStore,
+    Supervisor,
 };
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use rocc_experiments::{micro, scenarios, Scale, Scheme};
 use rocc_sim::prelude::*;
 
@@ -53,6 +55,7 @@ fn livelocked_cell() -> Result<u64, SimError> {
         budget: RunBudget {
             max_events: None,
             stall_events: Some(10_000),
+            wall_clock_ms: None,
         },
         ..SimConfig::default()
     };
@@ -146,6 +149,168 @@ fn observatory_sweep_resumes_byte_identically_after_kill() {
     assert_eq!(resumed.report.cached, 1, "first cell replays from journal");
     assert_eq!(resumed.aggregate_json(), reference);
     std::fs::remove_file(&journal).ok();
+}
+
+/// Build the [`faulted_cell`] sim without running it — the resumable
+/// cell needs to rebuild identically before restoring a snapshot.
+fn build_faulted(seed: u64) -> rocc_sim::prelude::Sim {
+    let d = scenarios::dumbbell(2, BitRate::from_gbps(40));
+    let cfg = SimConfig {
+        seed,
+        fault_plan: FaultPlan::default().with_loss(FaultTarget::Cnp, 0.01),
+        ..SimConfig::default()
+    };
+    let mut sim = micro::sim_with(d.topo, Scheme::Rocc, 7, cfg);
+    for (i, &s) in d.senders.iter().enumerate() {
+        sim.add_flow(FlowSpec {
+            id: FlowId(i as u64),
+            src: s,
+            dst: d.receiver,
+            size: 50_000,
+            start: SimTime::ZERO,
+            offered: None,
+        });
+    }
+    sim
+}
+
+/// [`faulted_cell`] with sub-cell crash recovery, the same shape as the
+/// observatory's resumable cells: restore from the journaled snapshot if
+/// one exists (discard-and-rebuild on restore failure), keep
+/// checkpointing, optionally crash partway through.
+fn resumable_faulted_cell(
+    seed: u64,
+    snap: &CellSnapshot,
+    die_at: Option<SimTime>,
+    resumed_from: &AtomicU64,
+) -> Result<u64, SimError> {
+    let mut sim = build_faulted(seed);
+    if let Some(bytes) = &snap.resume {
+        if sim.restore(bytes).is_err() {
+            sim = build_faulted(seed);
+        }
+    }
+    resumed_from.store(sim.events_processed(), Ordering::SeqCst);
+    sim.enable_auto_checkpoint(100, snap.sink());
+    if let Some(t) = die_at {
+        sim.run_until(t);
+        panic!("injected mid-cell crash at {t:?}");
+    }
+    let verdict = sim.run_until_flows_done(SimTime::from_millis(100));
+    if let Some(e) = verdict.err() {
+        return Err(e.clone());
+    }
+    let fct_ns: u64 = sim.trace.fcts.iter().map(|r| r.fct().as_nanos()).sum();
+    Ok(sim.trace.fcts.len() as u64 * 1_000_000_000_000 + fct_ns)
+}
+
+/// Sub-cell crash recovery end to end: a cell that crashes mid-run is
+/// retried, the retry resumes from the journaled engine snapshot instead
+/// of event zero, the result matches the uninterrupted reference bit for
+/// bit, and the spent snapshot is removed once the cell completes.
+#[test]
+fn crashed_cell_resumes_mid_run_from_journaled_snapshot() {
+    let reference = faulted_cell(3).expect("reference cell completes");
+
+    // Find the cell's midpoint so the crash lands with checkpoints taken.
+    let mut probe = build_faulted(3);
+    probe
+        .run_until_flows_done(SimTime::from_millis(100))
+        .assert_complete();
+    let t_mid = SimTime::from_nanos(probe.kernel.now.as_nanos() / 2);
+    assert!(probe.events_processed() > 200, "cell too small to checkpoint");
+
+    let store = SnapshotStore::new(scratch_path("resume-snapshots"));
+    let attempts = AtomicUsize::new(0);
+    let resumed_from = AtomicU64::new(0);
+    let sup = Supervisor::new(ExecMode::Serial).with_retry(RetryPolicy {
+        max_attempts: 2,
+        backoff_base_ms: 0,
+    });
+    let campaign = sup.run_resumable(
+        &store,
+        vec![("resume/seed3".to_string(), 3u64)],
+        &NoCache,
+        |&seed, snap| {
+            let first = attempts.fetch_add(1, Ordering::SeqCst) == 0;
+            resumable_faulted_cell(
+                seed,
+                &snap,
+                first.then_some(t_mid),
+                &resumed_from,
+            )
+        },
+    );
+    assert!(campaign.all_ok(), "{:?}", campaign.report());
+    assert_eq!(attempts.load(Ordering::SeqCst), 2, "crash then resume");
+    let resumed = resumed_from.load(Ordering::SeqCst);
+    assert!(
+        resumed > 0,
+        "retry started from event 0 — snapshot not restored"
+    );
+    assert_eq!(campaign.into_results(), vec![Some(reference)]);
+    assert!(
+        !store.path_for("resume/seed3").exists(),
+        "snapshot must be removed once the cell completes"
+    );
+}
+
+/// A corrupt snapshot must cause a clean fresh restart of the cell —
+/// never a quarantine entry, never a poisoned result.
+#[test]
+fn corrupt_snapshot_falls_back_to_fresh_cell_run() {
+    let reference = faulted_cell(5).expect("reference cell completes");
+    let store = SnapshotStore::new(scratch_path("corrupt-snapshots"));
+    let key = "corrupt/seed5";
+    // A torn/garbage checkpoint left by a crash mid-write.
+    store.save(key, b"rocc-snapshot/v1 but trailing garbage");
+    let resumed_from = AtomicU64::new(u64::MAX);
+    let sup = Supervisor::new(ExecMode::Serial).with_retry(RetryPolicy::no_retry());
+    let campaign = sup.run_resumable(
+        &store,
+        vec![(key.to_string(), 5u64)],
+        &NoCache,
+        |&seed, snap| {
+            // The store's digest verification rejects the bytes outright.
+            assert!(snap.resume.is_none(), "corrupt snapshot offered for resume");
+            resumable_faulted_cell(seed, &snap, None, &resumed_from)
+        },
+    );
+    assert!(campaign.all_ok(), "{:?}", campaign.report());
+    let rep = campaign.report();
+    assert!(rep.quarantine_json() == "[]", "corrupt snapshot quarantined a cell");
+    assert_eq!(campaign.records[0].attempts, 1, "fresh run, first try");
+    assert_eq!(resumed_from.load(Ordering::SeqCst), 0, "must start from event 0");
+    assert_eq!(campaign.into_results(), vec![Some(reference)]);
+}
+
+/// A *stale* snapshot — structurally valid but from a different config
+/// (here: another seed) — passes the container checks, fails the
+/// engine's config-digest verification inside `restore`, and the cell
+/// restarts fresh with the right answer.
+#[test]
+fn stale_snapshot_from_other_config_restarts_cell_fresh() {
+    let reference = faulted_cell(6).expect("reference cell completes");
+    let store = SnapshotStore::new(scratch_path("stale-snapshots"));
+    let key = "stale/seed6";
+    // A perfectly valid checkpoint... of a different run.
+    let mut other = build_faulted(999);
+    other.run_until(SimTime::from_micros(5));
+    store.save(key, &other.snapshot());
+    let resumed_from = AtomicU64::new(u64::MAX);
+    let sup = Supervisor::new(ExecMode::Serial).with_retry(RetryPolicy::no_retry());
+    let campaign = sup.run_resumable(
+        &store,
+        vec![(key.to_string(), 6u64)],
+        &NoCache,
+        |&seed, snap| {
+            assert!(snap.resume.is_some(), "container checks should pass");
+            resumable_faulted_cell(seed, &snap, None, &resumed_from)
+        },
+    );
+    assert!(campaign.all_ok(), "{:?}", campaign.report());
+    assert_eq!(resumed_from.load(Ordering::SeqCst), 0, "must rebuild fresh");
+    assert_eq!(campaign.into_results(), vec![Some(reference)]);
 }
 
 proptest! {

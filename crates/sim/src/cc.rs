@@ -102,6 +102,18 @@ pub trait SwitchCc {
     ) -> Option<crate::packet::IntHop> {
         None
     }
+
+    /// Serialize the controller's dynamic state as a flat word stream
+    /// (floats via `to_bits`), for engine checkpoints. Stateless schemes
+    /// keep the default no-op. Must be the exact inverse of
+    /// [`SwitchCc::restore_state`]: restoring the words into a freshly
+    /// constructed controller must reproduce bit-identical behavior.
+    fn snapshot_state(&self, out: &mut Vec<u64>) {}
+
+    /// Overwrite the controller's dynamic state from a word stream produced
+    /// by [`SwitchCc::snapshot_state`] on an identically configured
+    /// controller.
+    fn restore_state(&mut self, state: &[u64]) {}
 }
 
 /// A [`SwitchCc`] that does nothing (plain drop-tail/PFC switch).
@@ -128,7 +140,7 @@ impl SwitchCcFactory for NullSwitchCcFactory {
 }
 
 /// Feedback delivered to a sender's reaction point.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FeedbackEvent {
     /// RoCC CNP: fair rate in wire units (multiples of ΔF; the RoCC RP
     /// scales by ΔF, Alg. 2 line 2) plus the originating congestion point.
@@ -254,6 +266,18 @@ pub trait HostCc {
     fn rate_bounds(&self) -> Option<(BitRate, BitRate)> {
         None
     }
+
+    /// Serialize the controller's dynamic state as a flat word stream
+    /// (floats via `to_bits`), for engine checkpoints. Stateless schemes
+    /// keep the default no-op. Must be the exact inverse of
+    /// [`HostCc::restore_state`]: restoring the words into a freshly
+    /// constructed controller must reproduce bit-identical behavior.
+    fn snapshot_state(&self, out: &mut Vec<u64>) {}
+
+    /// Overwrite the controller's dynamic state from a word stream produced
+    /// by [`HostCc::snapshot_state`] on an identically configured
+    /// controller.
+    fn restore_state(&mut self, state: &[u64]) {}
 }
 
 /// A [`HostCc`] that always sends at line rate (no congestion control).

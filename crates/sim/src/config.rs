@@ -98,6 +98,12 @@ pub struct RunBudget {
     /// events are dispatched without simulated time advancing. `None`
     /// disables the guard.
     pub stall_events: Option<u64>,
+    /// Hard wall-clock ceiling in milliseconds; exceeding it yields
+    /// [`crate::sanitizer::SimError::WallClockExceeded`]. The check is
+    /// strided (every few thousand events) so the enabled cost is one
+    /// branch plus a rare clock read, and the disabled cost is one branch.
+    /// `None` means unlimited (the default).
+    pub wall_clock_ms: Option<u64>,
 }
 
 impl Default for RunBudget {
@@ -105,6 +111,7 @@ impl Default for RunBudget {
         RunBudget {
             max_events: None,
             stall_events: Some(DEFAULT_STALL_EVENTS),
+            wall_clock_ms: None,
         }
     }
 }
@@ -116,6 +123,7 @@ impl RunBudget {
         RunBudget {
             max_events: None,
             stall_events: None,
+            wall_clock_ms: None,
         }
     }
 
@@ -128,6 +136,12 @@ impl RunBudget {
     /// Set the livelock threshold to `n` consecutive same-instant events.
     pub fn with_stall_events(mut self, n: u64) -> Self {
         self.stall_events = Some(n);
+        self
+    }
+
+    /// Cap the run's wall-clock time at `ms` milliseconds.
+    pub fn with_wall_clock_ms(mut self, ms: u64) -> Self {
+        self.wall_clock_ms = Some(ms);
         self
     }
 }
@@ -346,12 +360,18 @@ mod tests {
         let b = SimConfig::default().budget;
         assert_eq!(b.max_events, None);
         assert_eq!(b.stall_events, Some(DEFAULT_STALL_EVENTS));
+        assert_eq!(b.wall_clock_ms, None);
         let u = RunBudget::unlimited();
         assert_eq!(u.max_events, None);
         assert_eq!(u.stall_events, None);
-        let c = RunBudget::default().with_max_events(5).with_stall_events(9);
+        assert_eq!(u.wall_clock_ms, None);
+        let c = RunBudget::default()
+            .with_max_events(5)
+            .with_stall_events(9)
+            .with_wall_clock_ms(30_000);
         assert_eq!(c.max_events, Some(5));
         assert_eq!(c.stall_events, Some(9));
+        assert_eq!(c.wall_clock_ms, Some(30_000));
     }
 
     #[test]

@@ -21,6 +21,7 @@ use crate::sanitizer::{
     DEFAULT_AUDIT_PERIOD,
 };
 use crate::slab::{PacketRef, PacketSlab};
+use crate::snapshot::{self, SnapReader, SnapWriter, SnapshotError};
 use crate::switch::Switch;
 use crate::telemetry::{DropCause, EventMask, SimEvent, SimProfile};
 use crate::time::{SimDuration, SimTime};
@@ -290,6 +291,19 @@ enum NodeSlot {
     Switch(Switch),
 }
 
+/// Consumer of auto-checkpoints: called with `(events_processed, bytes)`
+/// at every checkpoint stride.
+pub type CheckpointSink = Box<dyn FnMut(u64, &[u8])>;
+
+/// Auto-checkpoint policy: every `stride` dispatched events the engine
+/// serializes itself ([`Sim::snapshot`]) and hands the bytes to `sink`.
+/// Stored as an `Option` on [`Sim`] so the disabled cost is one branch per
+/// event, matching the profiler/sanitizer gating pattern.
+struct CheckpointPolicy {
+    stride: u64,
+    sink: CheckpointSink,
+}
+
 /// A fully wired simulation: topology + nodes + flows + instrumentation.
 pub struct Sim {
     /// Engine state (clock, queue, RNG, config).
@@ -324,6 +338,7 @@ pub struct Sim {
     /// against double-scheduling when stepping manually at t = 0.
     sampling_bootstrapped: bool,
     sanitizer: Sanitizer,
+    checkpoint: Option<CheckpointPolicy>,
 }
 
 impl Sim {
@@ -378,6 +393,7 @@ impl Sim {
             profile_base_seq: 0,
             sampling_bootstrapped: false,
             sanitizer: Sanitizer::default(),
+            checkpoint: None,
         };
         if std::env::var("ROCC_SANITIZE").map(|v| v != "0").unwrap_or(false) {
             sim.enable_sanitizer();
@@ -545,7 +561,7 @@ impl Sim {
     /// `t_end` are processed) or the event queue drains.
     pub fn run_until(&mut self, t_end: SimTime) {
         let started = std::time::Instant::now();
-        self.run_until_inner(t_end);
+        self.run_until_inner(t_end, started);
         self.kernel.prof.run_break();
         self.wall += started.elapsed();
     }
@@ -605,7 +621,7 @@ impl Sim {
         stepped
     }
 
-    fn run_until_inner(&mut self, t_end: SimTime) {
+    fn run_until_inner(&mut self, t_end: SimTime, started: std::time::Instant) {
         self.bootstrap_sampling();
         while let Some(s) = self.pop_next() {
             if s.at > t_end {
@@ -614,7 +630,7 @@ impl Sim {
                 self.kernel.now = t_end;
                 break;
             }
-            if let Some(e) = self.budget_breach(s.at) {
+            if let Some(e) = self.budget_breach(s.at, started) {
                 // Open-ended runs have no verdict to return; record the
                 // failure (retrievable via [`Sim::budget_failure`]), publish
                 // it, and stop instead of spinning forever.
@@ -630,6 +646,9 @@ impl Sim {
             // Open-ended runs have no completion criterion to abort toward;
             // audits still record violations and pause metrics.
             let _ = self.audit_if_due();
+            if self.checkpoint.is_some() {
+                self.auto_checkpoint();
+            }
         }
     }
 
@@ -643,7 +662,7 @@ impl Sim {
     /// Check the runtime budgets for the event about to be dispatched at
     /// `at`. Pure bookkeeping: never schedules or reorders anything, so a
     /// run within budget is bit-identical under any budget setting.
-    fn budget_breach(&mut self, at: SimTime) -> Option<SimError> {
+    fn budget_breach(&mut self, at: SimTime, started: std::time::Instant) -> Option<SimError> {
         let b = self.kernel.config.budget;
         if let Some(limit) = b.max_events {
             if self.events_processed >= limit {
@@ -653,6 +672,21 @@ impl Sim {
                     limit,
                     incomplete_flows: self.incomplete_finite(),
                 });
+            }
+        }
+        if let Some(limit_ms) = b.wall_clock_ms {
+            // Strided: a clock read every 4096 events keeps the enabled
+            // cost negligible while still bounding a hung cell tightly.
+            if self.events_processed & 0xFFF == 0 {
+                let wall_ms = (self.wall + started.elapsed()).as_millis() as u64;
+                if wall_ms >= limit_ms {
+                    return Some(SimError::WallClockExceeded {
+                        at: self.kernel.now,
+                        wall_ms,
+                        limit_ms,
+                        incomplete_flows: self.incomplete_finite(),
+                    });
+                }
             }
         }
         if at > self.kernel.now {
@@ -684,14 +718,18 @@ impl Sim {
     /// deadline miss) instead of a bare `false`.
     pub fn run_until_flows_done(&mut self, max_t: SimTime) -> RunVerdict {
         let started = std::time::Instant::now();
-        let verdict = self.run_until_flows_done_inner(max_t);
+        let verdict = self.run_until_flows_done_inner(max_t, started);
         self.kernel.prof.run_break();
         self.wall += started.elapsed();
         self.publish_verdict(&verdict);
         verdict
     }
 
-    fn run_until_flows_done_inner(&mut self, max_t: SimTime) -> RunVerdict {
+    fn run_until_flows_done_inner(
+        &mut self,
+        max_t: SimTime,
+        started: std::time::Instant,
+    ) -> RunVerdict {
         let finite = self.finite_flows;
         self.bootstrap_sampling();
         while (self.trace.fcts.len() as u64) < finite {
@@ -703,7 +741,7 @@ impl Sim {
                 self.kernel.now = max_t;
                 return RunVerdict::Failed(self.stall_error(finite, false));
             }
-            if let Some(e) = self.budget_breach(s.at) {
+            if let Some(e) = self.budget_breach(s.at, started) {
                 self.kernel.requeue(s);
                 return RunVerdict::Failed(e);
             }
@@ -712,6 +750,9 @@ impl Sim {
             self.dispatch(s.ev);
             if let Some(e) = self.audit_if_due() {
                 return RunVerdict::Failed(e);
+            }
+            if self.checkpoint.is_some() {
+                self.auto_checkpoint();
             }
         }
         // One final audit at end-of-run so a violation in the closing
@@ -840,6 +881,193 @@ impl Sim {
                 dump_verdict(&dir, verdict);
             }
         }
+    }
+
+    // ------------------------------------------------------ snapshotting
+
+    /// Serialize the complete dynamic state of the run as a
+    /// `rocc-snapshot/v1` document: scheduler heap contents, packet slab,
+    /// RNG streams, switch and host state, fault cursors, budget odometers,
+    /// and all collected instrumentation. Restoring the bytes into a
+    /// freshly rebuilt, identically configured `Sim` (see [`Sim::restore`])
+    /// resumes the run with a byte-identical schedule: verdicts, metrics
+    /// JSONL, and aggregates match an uninterrupted run exactly.
+    ///
+    /// Not captured (by design): telemetry subscribers (trait objects —
+    /// the restoring run re-attaches its own), accumulated wall-clock time
+    /// and phase-profiler wall shares (meaningless across processes), and
+    /// everything the caller rebuilds — topology, configuration, CC
+    /// factories, flow registrations, watch lists. The header binds the
+    /// snapshot to its seed and a configuration digest so a restore into
+    /// the wrong setup fails loudly instead of diverging silently.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        // Kernel dynamics. The heap serializes as a (at, seq)-sorted vec:
+        // the comparator is a total order over those two keys, so pushing
+        // the sorted entries back yields an identical pop order.
+        w.u64(self.kernel.seq);
+        w.usize(self.kernel.peak_heap);
+        w.words(&self.kernel.rng.state());
+        let mut heap: Vec<&Scheduled> = self.kernel.heap.iter().map(|r| &r.0).collect();
+        heap.sort_by_key(|s| (s.at, s.seq));
+        w.usize(heap.len());
+        for s in heap {
+            w.time(s.at);
+            w.u64(s.seq);
+            snapshot::write_event(&mut w, &s.ev);
+        }
+        self.kernel.faults.save_state(&mut w);
+        self.kernel.san.save_state(&mut w);
+        self.kernel.packets.save_state(&mut w);
+        // Node states, in topology order.
+        w.usize(self.nodes.len());
+        for n in &self.nodes {
+            match n {
+                NodeSlot::Host(h) => {
+                    w.u8(0);
+                    h.save_state(&mut w);
+                }
+                NodeSlot::Switch(s) => {
+                    w.u8(1);
+                    s.save_state(&mut w);
+                }
+            }
+        }
+        // Run bookkeeping and profiling anchors.
+        w.usize(self.flows.len());
+        w.u64(self.finite_flows);
+        w.u64(self.stall_run);
+        w.bool(self.sampling_bootstrapped);
+        w.u64(self.profile_base_events);
+        w.u64(self.profile_base_sim_ns);
+        w.u64(self.profile_base_seq);
+        // Instrumentation.
+        self.trace.save_state(&mut w);
+        self.sanitizer.save_state(&mut w);
+        snapshot::frame(
+            self.kernel.config.seed,
+            snapshot::config_digest(&self.kernel.config),
+            self.kernel.now.as_nanos(),
+            self.events_processed,
+            w.into_bytes(),
+        )
+    }
+
+    /// Overwrite this sim's dynamic state from a [`Sim::snapshot`]
+    /// document and resume exactly where the captured run stood.
+    ///
+    /// The caller must have rebuilt this `Sim` identically to the captured
+    /// one: same topology, same configuration (verified via the embedded
+    /// seed + configuration digest), same CC factories, same `add_flow`
+    /// calls, and the same trace watch registrations and sanitizer /
+    /// telemetry / observatory enablement (verified structurally during
+    /// decode). Restore discards the fresh bootstrap heap and replaces
+    /// every piece of dynamic state; accumulated wall-clock time resets to
+    /// zero and any recorded budget failure is cleared.
+    ///
+    /// On error the sim may be left partially overwritten — discard it and
+    /// rebuild (the supervisor falls back to a fresh cell run).
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let (info, body) = snapshot::unframe(bytes)?;
+        let expected = (
+            self.kernel.config.seed,
+            snapshot::config_digest(&self.kernel.config),
+        );
+        if (info.seed, info.config_digest) != expected {
+            return Err(SnapshotError::ConfigMismatch {
+                expected,
+                found: (info.seed, info.config_digest),
+            });
+        }
+        let mut r = SnapReader::new(body);
+        let seq = r.u64()?;
+        let peak_heap = r.usize()?;
+        let words = r.words()?;
+        if words.len() != 4 {
+            return Err(SnapshotError::Malformed("rng state"));
+        }
+        let rng = StdRng::from_state([words[0], words[1], words[2], words[3]]);
+        let nh = r.len()?;
+        let mut heap = BinaryHeap::with_capacity(nh);
+        for _ in 0..nh {
+            let at = r.time()?;
+            let eseq = r.u64()?;
+            let ev = snapshot::read_event(&mut r)?;
+            heap.push(Reverse(Scheduled { at, seq: eseq, ev }));
+        }
+        self.kernel.faults.load_state(&mut r)?;
+        self.kernel.san.load_state(&mut r)?;
+        self.kernel.packets.load_state(&mut r)?;
+        let nn = r.len()?;
+        if nn != self.nodes.len() {
+            return Err(SnapshotError::Malformed("node count differs"));
+        }
+        {
+            let Sim { nodes, host_cc, .. } = self;
+            for n in nodes.iter_mut() {
+                match (r.u8()?, n) {
+                    (0, NodeSlot::Host(h)) => h.load_state(&mut r, &**host_cc)?,
+                    (1, NodeSlot::Switch(s)) => s.load_state(&mut r)?,
+                    _ => return Err(SnapshotError::Malformed("node role differs")),
+                }
+            }
+        }
+        let nf = r.usize()?;
+        let finite = r.u64()?;
+        if nf != self.flows.len() || finite != self.finite_flows {
+            return Err(SnapshotError::Malformed("flow registration differs"));
+        }
+        self.stall_run = r.u64()?;
+        self.sampling_bootstrapped = r.bool()?;
+        self.profile_base_events = r.u64()?;
+        self.profile_base_sim_ns = r.u64()?;
+        self.profile_base_seq = r.u64()?;
+        self.trace.load_state(&mut r)?;
+        self.sanitizer.load_state(&mut r)?;
+        if !r.exhausted() {
+            return Err(SnapshotError::Malformed("trailing bytes"));
+        }
+        // All reads succeeded: commit the kernel dynamics.
+        self.kernel.now = SimTime::from_nanos(info.now_ns);
+        self.kernel.seq = seq;
+        self.kernel.peak_heap = peak_heap;
+        self.kernel.rng = rng;
+        self.kernel.heap = heap;
+        self.events_processed = info.events_processed;
+        self.budget_failure = None;
+        self.wall = std::time::Duration::ZERO;
+        Ok(())
+    }
+
+    /// Enable auto-checkpointing: every `stride` dispatched events the
+    /// engine calls [`Sim::snapshot`] and hands `(events_processed, bytes)`
+    /// to `sink`. Checkpointing is pure observation — the serialized bytes
+    /// are produced from reads only — so an auto-checkpointed run is
+    /// schedule-bit-identical to an unchecked one (pinned by the
+    /// `observer_effect` integration test). Disabled cost is one branch
+    /// per dispatched event.
+    pub fn enable_auto_checkpoint(&mut self, stride: u64, sink: CheckpointSink) {
+        assert!(stride > 0, "checkpoint stride must be positive");
+        self.checkpoint = Some(CheckpointPolicy { stride, sink });
+    }
+
+    /// Turn auto-checkpointing off (drops the sink).
+    pub fn disable_auto_checkpoint(&mut self) {
+        self.checkpoint = None;
+    }
+
+    /// Take a checkpoint if the policy's stride divides the event count.
+    /// Callers gate on `self.checkpoint.is_some()` so the disabled path
+    /// never reaches here.
+    fn auto_checkpoint(&mut self) {
+        let Some(mut pol) = self.checkpoint.take() else {
+            return;
+        };
+        if self.events_processed.is_multiple_of(pol.stride) {
+            let bytes = self.snapshot();
+            (pol.sink)(self.events_processed, &bytes);
+        }
+        self.checkpoint = Some(pol);
     }
 
     /// Grace period for retrying events addressed to a host that is
@@ -1491,6 +1719,7 @@ mod tests {
         cfg.budget = crate::config::RunBudget {
             max_events: Some(50),
             stall_events: None,
+            wall_clock_ms: None,
         };
         let mut sim = Sim::new(
             topo,
@@ -1535,6 +1764,7 @@ mod tests {
         cfg.budget = crate::config::RunBudget {
             max_events: None,
             stall_events: Some(10_000),
+            wall_clock_ms: None,
         };
         let mut sim = Sim::new(
             topo,
@@ -1572,6 +1802,7 @@ mod tests {
         cfg.budget = crate::config::RunBudget {
             max_events: None,
             stall_events: Some(1_000),
+            wall_clock_ms: None,
         };
         let mut sim = Sim::new(
             topo,
@@ -1628,8 +1859,230 @@ mod tests {
         let guarded = crate::config::RunBudget {
             max_events: Some(u64::MAX),
             stall_events: Some(1_000_000),
+            wall_clock_ms: Some(3_600_000),
         };
         assert_eq!(run(loose), run(guarded));
+    }
+
+    #[test]
+    fn wall_clock_budget_yields_typed_verdict() {
+        let topo = two_hosts_one_switch();
+        let h0 = topo.hosts()[0];
+        let h1 = topo.hosts()[1];
+        let mut cfg = SimConfig::default();
+        // A zero-millisecond ceiling trips on the first strided check,
+        // making the test deterministic regardless of host speed.
+        cfg.budget = crate::config::RunBudget::default().with_wall_clock_ms(0);
+        let mut sim = Sim::new(
+            topo,
+            cfg,
+            Box::new(NullHostCcFactory),
+            Box::new(NullSwitchCcFactory),
+        );
+        sim.add_flow(FlowSpec {
+            id: FlowId(1),
+            src: h0,
+            dst: h1,
+            size: 10_000_000,
+            start: SimTime::ZERO,
+            offered: None,
+        });
+        let v = sim.run_until_flows_done(SimTime::from_millis(100));
+        match v.err() {
+            Some(e @ SimError::WallClockExceeded { limit_ms, incomplete_flows, .. }) => {
+                assert_eq!(*limit_ms, 0);
+                assert_eq!(*incomplete_flows, 1);
+                assert!(e.is_budget(), "wall-clock breaches are a budget class");
+                assert!(e.to_json().contains("\"verdict\":\"wall_clock_exceeded\""));
+                assert_eq!(e.kind(), crate::telemetry::VerdictKind::WallClockExceeded);
+            }
+            other => panic!("expected WallClockExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip_mid_run_is_bit_identical() {
+        let build = || {
+            let topo = two_hosts_one_switch();
+            let h0 = topo.hosts()[0];
+            let h1 = topo.hosts()[1];
+            let mut sim = Sim::new(
+                topo,
+                SimConfig::default(),
+                Box::new(NullHostCcFactory),
+                Box::new(NullSwitchCcFactory),
+            );
+            for i in 0..4 {
+                sim.add_flow(FlowSpec {
+                    id: FlowId(i),
+                    src: h0,
+                    dst: h1,
+                    size: 100_000 + i * 7_000,
+                    start: SimTime::from_micros(i * 2),
+                    offered: None,
+                });
+            }
+            sim
+        };
+        let digest = |sim: &Sim| {
+            (
+                sim.events_processed(),
+                sim.kernel.now,
+                sim.trace
+                    .fcts
+                    .iter()
+                    .map(|r| (r.flow, r.end.as_nanos()))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        // Control: run to completion uninterrupted.
+        let mut control = build();
+        control.run_until_flows_done(SimTime::from_millis(100)).assert_complete();
+
+        // Snapshot mid-run, restore into a fresh sim, finish both.
+        let mut a = build();
+        for _ in 0..500 {
+            assert!(a.step(), "run too short for the test");
+        }
+        let snap = a.snapshot();
+        let info = crate::snapshot::inspect(&snap).expect("snapshot must inspect cleanly");
+        assert_eq!(info.events_processed, 500);
+        let mut b = build();
+        b.restore(&snap).expect("restore into an identical rebuild");
+        assert_eq!(b.events_processed(), 500);
+        a.run_until_flows_done(SimTime::from_millis(100)).assert_complete();
+        b.run_until_flows_done(SimTime::from_millis(100)).assert_complete();
+        assert_eq!(digest(&a), digest(&b), "restored run must match the donor");
+        assert_eq!(digest(&b), digest(&control), "restored run must match uninterrupted");
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_config_and_corruption() {
+        let topo = two_hosts_one_switch();
+        let h0 = topo.hosts()[0];
+        let h1 = topo.hosts()[1];
+        let mut sim = Sim::new(
+            topo,
+            SimConfig::default(),
+            Box::new(NullHostCcFactory),
+            Box::new(NullSwitchCcFactory),
+        );
+        sim.add_flow(FlowSpec {
+            id: FlowId(1),
+            src: h0,
+            dst: h1,
+            size: 100_000,
+            start: SimTime::ZERO,
+            offered: None,
+        });
+        for _ in 0..50 {
+            sim.step();
+        }
+        let snap = sim.snapshot();
+
+        // Different seed → ConfigMismatch.
+        let mut cfg = SimConfig::default();
+        cfg.seed = 999;
+        let mut other = Sim::new(
+            two_hosts_one_switch(),
+            cfg,
+            Box::new(NullHostCcFactory),
+            Box::new(NullSwitchCcFactory),
+        );
+        assert!(matches!(
+            other.restore(&snap),
+            Err(SnapshotError::ConfigMismatch { .. })
+        ));
+
+        // Flipped body byte → DigestMismatch at unframe time.
+        let mut bad = snap.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xff;
+        let mut fresh = Sim::new(
+            two_hosts_one_switch(),
+            SimConfig::default(),
+            Box::new(NullHostCcFactory),
+            Box::new(NullSwitchCcFactory),
+        );
+        fresh.add_flow(FlowSpec {
+            id: FlowId(1),
+            src: fresh.topo().hosts()[0],
+            dst: fresh.topo().hosts()[1],
+            size: 100_000,
+            start: SimTime::ZERO,
+            offered: None,
+        });
+        assert!(matches!(
+            fresh.restore(&bad),
+            Err(SnapshotError::DigestMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn auto_checkpoint_fires_on_stride_and_snapshots_restore() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let topo = two_hosts_one_switch();
+        let h0 = topo.hosts()[0];
+        let h1 = topo.hosts()[1];
+        let mut sim = Sim::new(
+            topo,
+            SimConfig::default(),
+            Box::new(NullHostCcFactory),
+            Box::new(NullSwitchCcFactory),
+        );
+        sim.add_flow(FlowSpec {
+            id: FlowId(1),
+            src: h0,
+            dst: h1,
+            size: 300_000,
+            start: SimTime::ZERO,
+            offered: None,
+        });
+        let taken: Rc<RefCell<Vec<(u64, Vec<u8>)>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = {
+            let taken = Rc::clone(&taken);
+            Box::new(move |events: u64, bytes: &[u8]| {
+                taken.borrow_mut().push((events, bytes.to_vec()));
+            })
+        };
+        sim.enable_auto_checkpoint(200, sink);
+        sim.run_until_flows_done(SimTime::from_millis(100)).assert_complete();
+        let final_digest = (
+            sim.events_processed(),
+            sim.trace.fcts.iter().map(|r| r.end.as_nanos()).collect::<Vec<_>>(),
+        );
+        let taken = taken.borrow();
+        assert!(!taken.is_empty(), "stride 200 must fire at least once");
+        for (events, _) in taken.iter() {
+            assert_eq!(events % 200, 0, "checkpoints fire on stride multiples");
+        }
+        // The last checkpoint resumes to the same completion state.
+        let (_, ref bytes) = taken[taken.len() - 1];
+        let topo = two_hosts_one_switch();
+        let h0 = topo.hosts()[0];
+        let h1 = topo.hosts()[1];
+        let mut resumed = Sim::new(
+            topo,
+            SimConfig::default(),
+            Box::new(NullHostCcFactory),
+            Box::new(NullSwitchCcFactory),
+        );
+        resumed.add_flow(FlowSpec {
+            id: FlowId(1),
+            src: h0,
+            dst: h1,
+            size: 300_000,
+            start: SimTime::ZERO,
+            offered: None,
+        });
+        resumed.restore(bytes).expect("checkpoint restores");
+        resumed.run_until_flows_done(SimTime::from_millis(100)).assert_complete();
+        let resumed_digest = (
+            resumed.events_processed(),
+            resumed.trace.fcts.iter().map(|r| r.end.as_nanos()).collect::<Vec<_>>(),
+        );
+        assert_eq!(resumed_digest, final_digest);
     }
 
     #[test]

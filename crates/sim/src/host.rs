@@ -535,6 +535,203 @@ impl Host {
         self.try_send(k, topo, trace);
     }
 
+    /// Serialize the host's dynamic state: NIC transmit state, queued
+    /// control frames, every sender flow (including its CC word stream),
+    /// the TX scheduler (ready ring verbatim, pacing heap as a sorted
+    /// vector — tuple order is total, so heap pop order survives), and
+    /// receiver state sorted by flow.
+    pub(crate) fn save_state(&self, w: &mut crate::snapshot::SnapWriter) {
+        use crate::snapshot::write_packet;
+        w.bool(self.busy);
+        w.bool(self.paused);
+        match &self.in_flight {
+            None => w.u8(0),
+            Some(p) => {
+                w.u8(1);
+                write_packet(w, p);
+            }
+        }
+        w.usize(self.ctrl_q.len());
+        for p in &self.ctrl_q {
+            write_packet(w, p);
+        }
+        w.usize(self.flows.len());
+        for (fid, f) in &self.flows {
+            w.u64(fid.0);
+            w.usize(f.dst.0);
+            w.u64(f.size);
+            w.u64(f.next_seq);
+            w.u64(f.acked);
+            w.u64(f.max_sent);
+            match f.offered {
+                None => w.u8(0),
+                Some(r) => {
+                    w.u8(1);
+                    w.rate(r);
+                }
+            }
+            match f.last_tx {
+                None => w.u8(0),
+                Some((t, b)) => {
+                    w.u8(1);
+                    w.time(t);
+                    w.u64(b);
+                }
+            }
+            for g in f.timer_gen {
+                w.u64(g);
+            }
+            w.bool(f.stopped);
+            w.u8(match f.sched {
+                SchedState::Idle => 0,
+                SchedState::Ready => 1,
+                SchedState::Waiting => 2,
+            });
+            w.time(f.wait_until);
+            w.rate(f.last_rate);
+            let mut words = Vec::new();
+            f.cc.snapshot_state(&mut words);
+            w.words(&words);
+        }
+        w.usize(self.ready.len());
+        for fid in &self.ready {
+            w.u64(fid.0);
+        }
+        let mut waits: Vec<(SimTime, FlowId)> =
+            self.waiting.iter().map(|Reverse(e)| *e).collect();
+        waits.sort_unstable();
+        w.usize(waits.len());
+        for (t, fid) in waits {
+            w.time(t);
+            w.u64(fid.0);
+        }
+        let mut recvs: Vec<(FlowId, &ReceiverFlow)> =
+            self.recv.iter().map(|(fid, r)| (*fid, r)).collect();
+        recvs.sort_unstable_by_key(|(fid, _)| fid.0);
+        w.usize(recvs.len());
+        for (fid, rf) in recvs {
+            w.u64(fid.0);
+            w.u64(rf.expected);
+            w.bool(rf.nack_armed);
+            w.bool(rf.complete);
+        }
+        match self.wake_at {
+            None => w.u8(0),
+            Some(t) => {
+                w.u8(1);
+                w.time(t);
+            }
+        }
+    }
+
+    /// Overwrite the host's dynamic state from a [`Host::save_state`]
+    /// stream. Sender CC boxes do not exist in a freshly built host (they
+    /// are created at `FlowStart` dispatch), so each is recreated through
+    /// the run's deterministic `factory` and then restored from its word
+    /// stream.
+    pub(crate) fn load_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+        factory: &dyn crate::cc::HostCcFactory,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::{read_packet, SnapshotError};
+        self.busy = r.bool()?;
+        self.paused = r.bool()?;
+        self.in_flight = match r.u8()? {
+            0 => None,
+            1 => Some(read_packet(r)?),
+            _ => return Err(SnapshotError::Malformed("host in-flight tag")),
+        };
+        let nc = r.len()?;
+        self.ctrl_q.clear();
+        for _ in 0..nc {
+            self.ctrl_q.push_back(read_packet(r)?);
+        }
+        let nf = r.len()?;
+        self.flows.clear();
+        for _ in 0..nf {
+            let fid = FlowId(r.u64()?);
+            let dst = NodeId(r.usize()?);
+            let size = r.u64()?;
+            let next_seq = r.u64()?;
+            let acked = r.u64()?;
+            let max_sent = r.u64()?;
+            let offered = match r.u8()? {
+                0 => None,
+                1 => Some(r.rate()?),
+                _ => return Err(SnapshotError::Malformed("offered tag")),
+            };
+            let last_tx = match r.u8()? {
+                0 => None,
+                1 => Some((r.time()?, r.u64()?)),
+                _ => return Err(SnapshotError::Malformed("last-tx tag")),
+            };
+            let mut timer_gen = [0u64; TIMER_SLOTS];
+            for g in &mut timer_gen {
+                *g = r.u64()?;
+            }
+            let stopped = r.bool()?;
+            let sched = match r.u8()? {
+                0 => SchedState::Idle,
+                1 => SchedState::Ready,
+                2 => SchedState::Waiting,
+                _ => return Err(SnapshotError::Malformed("sched state tag")),
+            };
+            let wait_until = r.time()?;
+            let last_rate = r.rate()?;
+            let words = r.words()?;
+            let mut cc = factory.make(fid, self.line_rate);
+            cc.restore_state(&words);
+            self.flows.insert(
+                fid,
+                SenderFlow {
+                    dst,
+                    size,
+                    next_seq,
+                    acked,
+                    max_sent,
+                    cc,
+                    offered,
+                    last_tx,
+                    timer_gen,
+                    stopped,
+                    sched,
+                    wait_until,
+                    last_rate,
+                },
+            );
+        }
+        let nr = r.len()?;
+        self.ready.clear();
+        for _ in 0..nr {
+            self.ready.push_back(FlowId(r.u64()?));
+        }
+        let nw = r.len()?;
+        self.waiting.clear();
+        for _ in 0..nw {
+            let t = r.time()?;
+            let fid = FlowId(r.u64()?);
+            self.waiting.push(Reverse((t, fid)));
+        }
+        let nrecv = r.len()?;
+        self.recv.clear();
+        for _ in 0..nrecv {
+            let fid = FlowId(r.u64()?);
+            let rf = ReceiverFlow {
+                expected: r.u64()?,
+                nack_armed: r.bool()?,
+                complete: r.bool()?,
+            };
+            self.recv.insert(fid, rf);
+        }
+        self.wake_at = match r.u8()? {
+            0 => None,
+            1 => Some(r.time()?),
+            _ => return Err(SnapshotError::Malformed("wake-at tag")),
+        };
+        Ok(())
+    }
+
     /// A packet arrived at this host.
     pub fn handle_arrive(
         &mut self,

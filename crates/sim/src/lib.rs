@@ -75,6 +75,7 @@ pub mod perfetto;
 pub mod profiler;
 pub mod sanitizer;
 pub mod slab;
+pub mod snapshot;
 pub mod switch;
 pub mod telemetry;
 pub mod time;
@@ -93,7 +94,7 @@ pub mod prelude {
     pub use crate::config::{
         BufferMode, ConfigError, PfcConfig, RunBudget, SimConfig, DEFAULT_STALL_EVENTS,
     };
-    pub use crate::engine::{Event, FlowMeta, FlowSpec, Kernel, Sim};
+    pub use crate::engine::{CheckpointSink, Event, FlowMeta, FlowSpec, Kernel, Sim};
     pub use crate::fastmap::{FxHashMap, FxHashSet, FxHasher};
     pub use crate::fault::{
         FaultDecision, FaultEvent, FaultPlan, FaultState, FaultTarget, HostFault, HostFaultKind,
@@ -107,6 +108,9 @@ pub mod prelude {
         PauseCycleNode, PauseReport, RunVerdict, Sanitizer, SanitizerReport, SimError,
     };
     pub use crate::slab::{PacketRef, PacketSlab};
+    pub use crate::snapshot::{
+        config_digest, inspect, SnapshotError, SnapshotInfo, SNAPSHOT_MAGIC,
+    };
     pub use crate::telemetry::{
         CcEvent, CounterLabels, CpDecisionKind, DropCause, EventMask, EventSubscriber, Histogram,
         RpTransitionKind, SimEvent, SimProfile, Telemetry, VerdictKind,

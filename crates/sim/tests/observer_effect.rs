@@ -354,6 +354,126 @@ fn profiler_is_invisible_to_the_simulation() {
     }
 }
 
+/// Auto-checkpointing obeys the same discipline: a faulted run that
+/// serializes a full engine snapshot every few thousand events is
+/// bit-identical to the same seed with checkpointing off. `snapshot()`
+/// is a pure read of engine state — it never touches the RNG, the event
+/// queue, or CC state — so periodically journaling one cannot shift the
+/// schedule. This pins the "disabled costs one branch, enabled costs
+/// only wall time" contract of sub-cell crash recovery.
+#[test]
+fn checkpointing_is_invisible_to_the_simulation() {
+    let run = |seed: u64, checkpoint: bool| {
+        let (topo, srcs, dst) = dumbbell(6, 40);
+        let cfg = SimConfig {
+            seed,
+            fault_plan: FaultPlan::default()
+                .with_loss(FaultTarget::Data, 0.004)
+                .with_loss(FaultTarget::Cnp, 0.01)
+                .with_flap(
+                    LinkId(3),
+                    SimTime::from_micros(400),
+                    SimTime::from_micros(900),
+                ),
+            ..SimConfig::default()
+        };
+        let mut sim = Sim::new(
+            topo,
+            cfg,
+            Box::new(RoccHostCcFactory::new()),
+            Box::new(RoccSwitchCcFactory::new()),
+        );
+        sim.trace.sample_period = Some(SimDuration::from_micros(10));
+        sim.trace.watch_queue(NodeId(0), PortId(0));
+        let saves = std::rc::Rc::new(std::cell::Cell::new(0u64));
+        if checkpoint {
+            let counter = saves.clone();
+            sim.enable_auto_checkpoint(
+                5_000,
+                Box::new(move |_events, bytes| {
+                    assert!(!bytes.is_empty());
+                    counter.set(counter.get() + 1);
+                }),
+            );
+        }
+        for (i, &s) in srcs.iter().enumerate() {
+            sim.add_flow(FlowSpec {
+                id: FlowId(i as u64),
+                src: s,
+                dst,
+                size: 1_000_000,
+                start: SimTime::ZERO,
+                offered: None,
+            });
+        }
+        let done = sim.run_until_flows_done(SimTime::from_millis(100)).is_complete();
+        assert!(done, "faulted incast must complete within the horizon");
+        if checkpoint {
+            assert!(saves.get() > 0, "no checkpoints taken");
+        }
+        summarize(&sim)
+    };
+    for seed in [1u64, 7, 42] {
+        let plain = run(seed, false);
+        let journaled = run(seed, true);
+        assert_eq!(
+            plain, journaled,
+            "auto-checkpointing perturbed the run at seed {seed}"
+        );
+    }
+}
+
+/// Taking a one-off snapshot mid-run is equally invisible: pausing at an
+/// arbitrary event, serializing the full engine state, and continuing
+/// produces the identical run to never pausing at all.
+#[test]
+fn taking_a_snapshot_does_not_perturb_the_run() {
+    let run = |seed: u64, pause_at: Option<u64>| {
+        let (topo, srcs, dst) = dumbbell(6, 40);
+        let cfg = SimConfig {
+            seed,
+            fault_plan: FaultPlan::default()
+                .with_loss(FaultTarget::Data, 0.004)
+                .with_loss(FaultTarget::Cnp, 0.01),
+            ..SimConfig::default()
+        };
+        let mut sim = Sim::new(
+            topo,
+            cfg,
+            Box::new(RoccHostCcFactory::new()),
+            Box::new(RoccSwitchCcFactory::new()),
+        );
+        for (i, &s) in srcs.iter().enumerate() {
+            sim.add_flow(FlowSpec {
+                id: FlowId(i as u64),
+                src: s,
+                dst,
+                size: 1_000_000,
+                start: SimTime::ZERO,
+                offered: None,
+            });
+        }
+        if let Some(k) = pause_at {
+            while sim.events_processed() < k && sim.step() {}
+            let bytes = sim.snapshot();
+            assert!(!bytes.is_empty());
+        }
+        let done = sim.run_until_flows_done(SimTime::from_millis(100)).is_complete();
+        assert!(done, "faulted incast must complete within the horizon");
+        summarize(&sim)
+    };
+    for seed in [1u64, 7, 42] {
+        let plain = run(seed, None);
+        for k in [0u64, 1_000, 30_000] {
+            let paused = run(seed, Some(k));
+            assert_eq!(
+                plain, paused,
+                "snapshot at event {k} perturbed the run at seed {seed}"
+            );
+        }
+    }
+}
+
 /// Determinism of the telemetry itself: two instrumented runs of the same
 /// seed produce the identical event log and metrics export.
 #[test]

@@ -219,6 +219,21 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state, for exact checkpoint/restore of a
+        /// generator mid-stream.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from a state previously captured with
+        /// [`StdRng::state`]; it continues the stream exactly where the
+        /// captured generator left off.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl Rng for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
