@@ -7,29 +7,33 @@
 //! in [`rocc_bench::ratchet`].
 //!
 //! Usage:
-//!   perf bench <out_dir>          — run benchmarks; write
-//!                                   <out_dir>/BENCH_sim.json and
-//!                                   <out_dir>/perf_profile.json
-//!   perf check <fresh> <base>     — exit nonzero if <fresh> regressed
-//!                                   past any ratchet tolerance vs <base>
-//!   perf ratchet <fresh> <base> [<out>]
-//!                                 — fold <fresh> into the ratchet,
-//!                                   writing the advanced baseline to
-//!                                   <out> (default: <base> in place)
+//!
+//! ```text
+//! perf bench <out_dir> [<baseline>]
+//!                               — run benchmarks; write
+//!                                 <out_dir>/BENCH_sim.json and
+//!                                 <out_dir>/perf_profile.json.
+//!                                 Speedups are computed against the
+//!                                 recorded previous ratchet entry
+//!                                 (default: ./BENCH_sim.json), not a
+//!                                 hardcoded constant.
+//! perf check <fresh> <base>     — exit nonzero if <fresh> regressed
+//!                                 past any ratchet tolerance vs <base>
+//! perf ratchet <fresh> <base> [<out>]
+//!                               — fold <fresh> into the ratchet,
+//!                                 writing the advanced baseline to
+//!                                 <out> (default: <base> in place)
+//! ```
+//!
+//! The engine's scheduler backend follows the kernel's `ROCC_SCHEDULER`
+//! env override (`heap` | `wheel`, default wheel) and is recorded in the
+//! document, so CI can bench both backends and ratchet only the wheel.
 
 use rocc_bench::ratchet;
 use rocc_experiments::micro::sim_with;
 use rocc_experiments::parallel::{map_cells, worker_threads, ExecMode};
 use rocc_experiments::schemes::Scheme;
 use rocc_sim::prelude::*;
-
-/// Pre-refactor single-thread throughput (events/sec) of the seed
-/// engine on this benchmark, measured before the slab/FxHashMap rework.
-/// Kept in the JSON so the speedup trajectory stays visible even after
-/// the baseline file is regenerated on faster hardware.
-const PRE_REFACTOR_EVENTS_PER_SEC: f64 = 1_937_557.0;
-/// Pre-refactor serial sweep wall-clock (seconds) on the same host.
-const PRE_REFACTOR_SWEEP_SECONDS: f64 = 0.340;
 
 /// Dumbbell: `n` senders incast one receiver through a single switch.
 fn dumbbell(n: usize, gbps: u64) -> (Topology, Vec<NodeId>, NodeId) {
@@ -166,11 +170,44 @@ fn phases_json(sim: &Sim) -> String {
     format!("[{}]", rows.join(","))
 }
 
-fn cmd_bench(out_dir: &str) {
+/// Baseline figures extracted from the previous ratchet entry: engine
+/// throughput and the best sweep wall. `None` fields mean the baseline
+/// document is missing or predates the key — speedups then report 1.0.
+struct Baseline {
+    events_per_sec: Option<f64>,
+    sweep_wall_seconds: Option<f64>,
+}
+
+/// Read the committed baseline document (the previous ratchet entry).
+/// A missing file is not an error — first runs and fresh checkouts just
+/// get neutral speedups.
+fn load_baseline(path: &str) -> Baseline {
+    let Ok(doc) = std::fs::read_to_string(path) else {
+        eprintln!("note: no baseline at {path}; speedups will read 1.00x");
+        return Baseline {
+            events_per_sec: None,
+            sweep_wall_seconds: None,
+        };
+    };
+    let serial = ratchet::json_number(&doc, "serial_wall_seconds");
+    let parallel = ratchet::json_number(&doc, "parallel_wall_seconds");
+    let sweep = match (serial, parallel) {
+        (Some(s), Some(p)) => Some(s.min(p)),
+        (s, p) => s.or(p),
+    };
+    Baseline {
+        events_per_sec: ratchet::json_number(&doc, "events_per_sec"),
+        sweep_wall_seconds: sweep,
+    }
+}
+
+fn cmd_bench(out_dir: &str, baseline_path: &str) {
+    let base = load_baseline(baseline_path);
     // Engine throughput, profiler off (the production configuration) and
     // on (measures overhead, produces the per-phase attribution +
     // perf-profile artifact), reps interleaved.
     let (off, on, overhead_pct) = bench_engine();
+    let scheduler = off.kernel.scheduler_backend().name();
     let p_off = off.profile();
     let eps = p_off.events_per_sec();
     let p_on = on.profile();
@@ -184,25 +221,31 @@ fn cmd_bench(out_dir: &str) {
         "parallel sweep processed a different event count — determinism broken"
     );
     let threads = worker_threads(ExecMode::Parallel, cells);
-    let engine_speedup = eps / PRE_REFACTOR_EVENTS_PER_SEC;
-    let sweep_speedup = PRE_REFACTOR_SWEEP_SECONDS / sweep_serial.min(sweep_parallel);
+    let sweep_best = sweep_serial.min(sweep_parallel);
+    // Speedups are relative to the previous ratchet entry, so they track
+    // the most recent accepted baseline rather than a frozen constant.
+    let engine_speedup = ratchet::speedup(Some(eps), base.events_per_sec);
+    let sweep_speedup = ratchet::speedup(base.sweep_wall_seconds, Some(sweep_best));
+    let base_eps = base.events_per_sec.unwrap_or(eps);
+    let base_sweep = base.sweep_wall_seconds.unwrap_or(sweep_best);
     println!(
-        "engine: {} events in {:.3}s = {eps:.0} events/sec ({engine_speedup:.2}x vs pre-refactor)",
+        "engine [{scheduler}]: {} events in {:.3}s = {eps:.0} events/sec ({engine_speedup:.2}x vs baseline)",
         p_off.events_processed, p_off.wall_seconds
     );
     println!("engine (profiled): {eps_on:.0} events/sec — profiler overhead {overhead_pct:.2}%");
     println!("sweep (serial):   {sweep_serial:.3}s over {ev_serial} events");
     println!("sweep (parallel): {sweep_parallel:.3}s on {threads} thread(s)");
-    println!("sweep speedup vs pre-refactor: {sweep_speedup:.2}x");
+    println!("sweep speedup vs baseline: {sweep_speedup:.2}x");
     let json = format!(
         "{{\"schema\":\"rocc-bench/v2\",\
-         \"engine\":{{\"engine_events\":{},\"engine_wall_seconds\":{},\"events_per_sec\":{eps},\
-         \"pre_refactor_events_per_sec\":{PRE_REFACTOR_EVENTS_PER_SEC},\"engine_speedup\":{engine_speedup}}},\
+         \"engine\":{{\"scheduler\":\"{scheduler}\",\"engine_events\":{},\"engine_wall_seconds\":{},\
+         \"events_per_sec\":{eps},\
+         \"baseline_events_per_sec\":{base_eps},\"engine_speedup\":{engine_speedup}}},\
          \"profiler\":{{\"profiled_events_per_sec\":{eps_on},\"profiler_overhead_pct\":{overhead_pct},\
          \"phases\":{}}},\
          \"sweep\":{{\"serial_wall_seconds\":{sweep_serial},\"parallel_wall_seconds\":{sweep_parallel},\
          \"threads\":{threads},\"events_total\":{ev_serial},\
-         \"pre_refactor_serial_wall_seconds\":{PRE_REFACTOR_SWEEP_SECONDS},\"sweep_speedup\":{sweep_speedup}}}}}",
+         \"baseline_sweep_wall_seconds\":{base_sweep},\"sweep_speedup\":{sweep_speedup}}}}}",
         p_off.events_processed,
         p_off.wall_seconds,
         phases_json(&on)
@@ -252,7 +295,8 @@ fn main() {
     match args.get(1).map(|s| s.as_str()) {
         Some("bench") => {
             let out_dir = args.get(2).map(|s| s.as_str()).unwrap_or("bench_out");
-            cmd_bench(out_dir);
+            let baseline = args.get(3).map(|s| s.as_str()).unwrap_or("BENCH_sim.json");
+            cmd_bench(out_dir, baseline);
         }
         Some("check") => {
             let (Some(fresh), Some(base)) = (args.get(2), args.get(3)) else {
@@ -271,7 +315,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: perf bench <out_dir> | perf check <fresh> <base> | perf ratchet <fresh> <base> [<out>]"
+                "usage: perf bench <out_dir> [<baseline>] | perf check <fresh> <base> | perf ratchet <fresh> <base> [<out>]"
             );
             std::process::exit(2);
         }

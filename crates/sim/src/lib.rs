@@ -74,6 +74,7 @@ pub mod packet;
 pub mod perfetto;
 pub mod profiler;
 pub mod sanitizer;
+pub mod sched;
 pub mod slab;
 pub mod snapshot;
 pub mod switch;
@@ -106,6 +107,10 @@ pub mod prelude {
     pub use crate::profiler::{DepthSample, Phase, PhaseProfiler, ProfileContext};
     pub use crate::sanitizer::{
         PauseCycleNode, PauseReport, RunVerdict, Sanitizer, SanitizerReport, SimError,
+    };
+    pub use crate::sched::{
+        Backend, HeapScheduler, SchedStats, Scheduled, Scheduler, SchedulerImpl, TimingWheel,
+        WHEEL_LEVELS,
     };
     pub use crate::slab::{PacketRef, PacketSlab};
     pub use crate::snapshot::{

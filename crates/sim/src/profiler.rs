@@ -31,6 +31,7 @@
 //!   construction. The sampling stride is an event count, not a clock,
 //!   so enabling the profiler cannot change the schedule.
 
+use crate::sched::{SchedStats, WHEEL_LEVELS};
 use crate::telemetry::Histogram;
 use std::time::Instant;
 
@@ -145,6 +146,9 @@ pub struct PhaseProfiler {
     last_at_ns: u64,
     armed: bool,
     heap_series: Vec<DepthSample>,
+    /// Per-level wheel occupancy at each heap-depth sample, compacted in
+    /// lockstep with `heap_series` (all-zero rows under the heap backend).
+    level_series: Vec<[u64; WHEEL_LEVELS]>,
     heap_skip_n: u32,
     heap_skip: u32,
 }
@@ -168,6 +172,7 @@ impl Default for PhaseProfiler {
             last_at_ns: u64::MAX,
             armed: false,
             heap_series: Vec::new(),
+            level_series: Vec::new(),
             heap_skip_n: 1,
             heap_skip: 1,
         }
@@ -215,6 +220,7 @@ impl PhaseProfiler {
         self.cur_burst = 0;
         self.last_at_ns = u64::MAX;
         self.heap_series.clear();
+        self.level_series.clear();
         self.heap_skip_n = 1;
         self.heap_skip = 1;
     }
@@ -306,21 +312,36 @@ impl PhaseProfiler {
     }
 
     /// Record the heap-depth sample a `true` return from
-    /// [`PhaseProfiler::note_pop`] asked for. `heap_after` is the heap
-    /// length after the pop, `slab_live` the live packet count.
-    pub fn note_heap_sample(&mut self, at_ns: u64, heap_after: usize, slab_live: usize) {
+    /// [`PhaseProfiler::note_pop`] asked for. `heap_after` is the queue
+    /// length after the pop, `slab_live` the live packet count, and
+    /// `levels` the scheduler's per-level bucket occupancy (all zeros
+    /// under the heap backend).
+    pub fn note_heap_sample(
+        &mut self,
+        at_ns: u64,
+        heap_after: usize,
+        slab_live: usize,
+        levels: [u64; WHEEL_LEVELS],
+    ) {
         self.heap_series.push(DepthSample {
             t_ns: at_ns,
             heap: heap_after as u64,
             slab_live: slab_live as u64,
         });
+        self.level_series.push(levels);
         if self.heap_series.len() >= HEAP_SERIES_CAP {
             // Keep every other sample and double the stride: bounded
-            // memory, uniform coverage.
+            // memory, uniform coverage. The level series compacts in
+            // lockstep so row i always matches heap_series[i].
             let mut i = 0;
             self.heap_series.retain(|_| {
                 i += 1;
                 i % 2 == 1
+            });
+            let mut j = 0;
+            self.level_series.retain(|_| {
+                j += 1;
+                j % 2 == 1
             });
             self.heap_skip_n = self.heap_skip_n.saturating_mul(2);
         }
@@ -400,6 +421,13 @@ impl PhaseProfiler {
         &self.heap_series
     }
 
+    /// The per-level wheel-occupancy series, row-aligned with
+    /// [`PhaseProfiler::heap_series`] (all-zero rows under the heap
+    /// backend).
+    pub fn level_series(&self) -> &[[u64; WHEEL_LEVELS]] {
+        &self.level_series
+    }
+
     /// The same-timestamp burst-size histogram, including the burst
     /// still open at call time.
     pub fn burst_histogram(&self) -> Histogram {
@@ -474,6 +502,15 @@ impl PhaseProfiler {
             .iter()
             .map(|s| format!("[{},{},{}]", s.t_ns, s.heap, s.slab_live))
             .collect();
+        let levels: Vec<String> = self
+            .level_series
+            .iter()
+            .map(|row| {
+                let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                format!("[{}]", cells.join(","))
+            })
+            .collect();
+        let depths_now: Vec<String> = ctx.level_depths.iter().map(|v| v.to_string()).collect();
         let eps = if ctx.wall_ns > 0 {
             ctx.events as f64 / (ctx.wall_ns as f64 / 1e9)
         } else {
@@ -487,9 +524,12 @@ impl PhaseProfiler {
              \"events_per_sec\":{},\
              \"sampling\":{{\"stride\":{},\"timed_events\":{}}},\
              \"phases\":[{}],\
-             \"scheduler\":{{\"pushes\":{},\"pops\":{},\"peak_heap\":{},\"pending\":{},\
+             \"scheduler\":{{\"backend\":\"{}\",\"pushes\":{},\"pops\":{},\"peak_heap\":{},\"pending\":{},\
+             \"cascades\":{},\"cascaded_events\":{},\"rebases\":{},\"max_level\":{},\
+             \"level_depths\":[{}],\
              \"burst_hist\":{},\
              \"heap_depth_series\":[{}],\
+             \"level_series\":[{}],\
              \"dispatch_mix\":[{}]}},\
              \"slab\":{{\"live\":{},\"peak_live\":{}}},\
              \"fastmap\":{{\"flow_dir_entries\":{}}}}}",
@@ -500,12 +540,19 @@ impl PhaseProfiler {
             self.stride,
             self.timed_events,
             phases.join(","),
+            ctx.sched_backend,
             ctx.pushes,
             self.pops(),
             ctx.peak_heap,
             ctx.pending,
+            ctx.sched.cascades,
+            ctx.sched.cascaded_events,
+            ctx.sched.rebases,
+            ctx.sched.max_level,
+            depths_now.join(","),
             self.burst_histogram().to_json("events"),
             depth.join(","),
+            levels.join(","),
             mix.join(","),
             ctx.slab_live,
             ctx.slab_peak,
@@ -537,6 +584,14 @@ pub struct ProfileContext {
     pub slab_peak: usize,
     /// Entries in the flow directory (the hottest fastmap).
     pub flow_dir_entries: usize,
+    /// Scheduler backend name ("heap" / "wheel").
+    pub sched_backend: &'static str,
+    /// Scheduler introspection counters (cascades, rebases; all zero
+    /// under the heap backend).
+    pub sched: SchedStats,
+    /// Per-level wheel occupancy at export time (all zeros under the
+    /// heap backend).
+    pub level_depths: [u64; WHEEL_LEVELS],
 }
 
 /// Format an `f64` as JSON (no NaN/inf — those become 0).
@@ -563,6 +618,14 @@ mod tests {
             slab_live: 2,
             slab_peak: 17,
             flow_dir_entries: 6,
+            sched_backend: "wheel",
+            sched: SchedStats {
+                cascades: 3,
+                cascaded_events: 11,
+                rebases: 1,
+                max_level: 4,
+            },
+            level_depths: [1, 0, 2, 0, 0, 0, 0, 0],
         }
     }
 
@@ -593,7 +656,7 @@ mod tests {
         for i in 0..100u64 {
             p.pop_begin();
             if p.note_pop(i * 10) {
-                p.note_heap_sample(i * 10, 5, 1);
+                p.note_heap_sample(i * 10, 5, 1, [0; WHEEL_LEVELS]);
             }
             p.dispatch_begin(0);
             p.enter(Phase::SwitchForward);
@@ -622,7 +685,7 @@ mod tests {
         for i in 0..64u64 {
             p.pop_begin();
             if p.note_pop(i) {
-                p.note_heap_sample(i, 3, 0);
+                p.note_heap_sample(i, 3, 0, [0; WHEEL_LEVELS]);
             }
             p.dispatch_begin(1);
         }
@@ -642,7 +705,7 @@ mod tests {
         for at in [5, 5, 5, 9, 12, 12] {
             p.pop_begin();
             if p.note_pop(at) {
-                p.note_heap_sample(at, 1, 0);
+                p.note_heap_sample(at, 1, 0, [0; WHEEL_LEVELS]);
             }
         }
         let h = p.burst_histogram();
@@ -658,10 +721,15 @@ mod tests {
         for i in 0..20_000u64 {
             p.pop_begin();
             if p.note_pop(i) {
-                p.note_heap_sample(i, (i % 100) as usize, 0);
+                p.note_heap_sample(i, (i % 100) as usize, 0, [0; WHEEL_LEVELS]);
             }
         }
         assert!(p.heap_series().len() < HEAP_SERIES_CAP);
+        assert_eq!(
+            p.level_series().len(),
+            p.heap_series().len(),
+            "level series must compact in lockstep"
+        );
         assert!(p.heap_skip_n > 1, "stride must grow under compaction");
         // Still covers the run: last sample is near the end.
         assert!(p.heap_series().last().unwrap().t_ns > 10_000);
@@ -674,7 +742,7 @@ mod tests {
         for i in 0..10u64 {
             p.pop_begin();
             if p.note_pop(i * 7) {
-                p.note_heap_sample(i * 7, 4, 2);
+                p.note_heap_sample(i * 7, 4, 2, [0; WHEEL_LEVELS]);
             }
             p.dispatch_begin(0);
             p.enter(Phase::HostCompute);
@@ -685,6 +753,11 @@ mod tests {
         assert!(j.contains("\"phases\":["));
         assert!(j.contains("\"phase\":\"sched_pop\""));
         assert!(j.contains("\"burst_hist\":{"));
+        assert!(j.contains("\"backend\":\"wheel\""));
+        assert!(j.contains("\"cascades\":3"));
+        assert!(j.contains("\"rebases\":1"));
+        assert!(j.contains("\"level_depths\":[1,0,2,0,0,0,0,0]"));
+        assert!(j.contains("\"level_series\":[["));
         assert!(j.contains("\"heap_depth_series\":[["));
         assert!(j.contains("\"dispatch_mix\":[{"));
         assert!(j.contains("\"flow_dir_entries\":6"));
@@ -699,7 +772,7 @@ mod tests {
         for i in 0..16u64 {
             p.pop_begin();
             if p.note_pop(i) {
-                p.note_heap_sample(i, 2, 1);
+                p.note_heap_sample(i, 2, 1, [0; WHEEL_LEVELS]);
             }
             p.dispatch_begin(0);
         }
@@ -713,7 +786,7 @@ mod tests {
         // Still collects after the reset.
         p.pop_begin();
         if p.note_pop(99) {
-            p.note_heap_sample(99, 2, 1);
+            p.note_heap_sample(99, 2, 1, [0; WHEEL_LEVELS]);
         }
         p.dispatch_begin(0);
         assert_eq!(p.pops(), 1);

@@ -80,6 +80,14 @@ fn chaos_incast(seed: u64) -> RunFingerprint {
     }
     let verdict = sim.run_until_flows_done(SimTime::from_millis(100));
     assert!(verdict.is_complete(), "chaos incast must finish: {verdict:?}");
+    // Healthy schemes never schedule into the past; a nonzero clamp count
+    // on a golden seed means a node handler regressed (see
+    // `Kernel::past_due_clamps`).
+    assert_eq!(
+        sim.kernel.past_due_clamps(),
+        0,
+        "golden seed {seed} produced past-due schedule clamps"
+    );
     RunFingerprint {
         events: sim.events_processed(),
         fcts: sim
