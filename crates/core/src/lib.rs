@@ -68,6 +68,13 @@ pub mod params;
 pub mod rp;
 pub mod switch_cc;
 
+/// The workspace's shared FNV-1a-64 digest helper (snapshot trailers,
+/// observatory manifests, golden fingerprints, divergence-observatory
+/// component digests all use it). The implementation lives in the
+/// dependency-root `rocc-stats` crate so `rocc-sim` can reach it too;
+/// this re-export is its canonical public home.
+pub use rocc_stats::digest;
+
 pub use cnp::{Cnp, QueueReport};
 pub use cp::{FairRateCalculator, UpdateKind};
 pub use flow_table::{FlowTable, FlowTablePolicy};

@@ -903,6 +903,23 @@ fn main() {
                 eprintln!("usage: repro compare <runA dir|metrics.jsonl> <runB dir|metrics.jsonl>");
                 std::process::exit(2);
             };
+            // Runs on different scheduler backends are not seed noise —
+            // refuse to diff them as if they were (use `repro diverge`
+            // to localize a backend disagreement instead).
+            let (ba, bb) = (
+                observatory::manifest_field(a, "sched_backend"),
+                observatory::manifest_field(b, "sched_backend"),
+            );
+            if let (Some(ba), Some(bb)) = (&ba, &bb) {
+                if ba != bb {
+                    eprintln!(
+                        "backend mismatch: run A executed on `{ba}`, run B on `{bb}` — \
+                         these runs are not comparable as seed noise.\n\
+                         Use `repro diverge {ba} {bb}` to localize a backend disagreement."
+                    );
+                    std::process::exit(1);
+                }
+            }
             let (sa, sb) = match (observatory::load_summary(a), observatory::load_summary(b)) {
                 (Ok(sa), Ok(sb)) => (sa, sb),
                 (Err(e), _) | (_, Err(e)) => {
@@ -915,6 +932,169 @@ fn main() {
             println!("{}", report.to_json());
             if !report.pass() {
                 std::process::exit(1);
+            }
+        }
+        "diverge" => {
+            use rocc_experiments::diverge::{self, DivergeSpec};
+            use rocc_sim::digest::BisectOutcome;
+            let usage = "usage: repro diverge <specA> <specB> [scenario] [dir] [quick|paper] [seed] [max_events]\n\
+                         \x20      repro diverge record <spec> <out.jsonl> [scenario] [quick|paper] [seed] [stride]\n\
+                         \x20      repro diverge ledgers <a.jsonl> <b.jsonl>\n\
+                         specs: heap | wheel, optionally +flip@<event> (inject an RP rate bit-flip\n\
+                         after that many dispatched events); scenarios: chaos incast";
+            match args.get(2).map(String::as_str) {
+                Some("record") => {
+                    let (Some(spec), Some(out)) = (args.get(3), args.get(4)) else {
+                        eprintln!("{usage}");
+                        std::process::exit(2);
+                    };
+                    let Some(spec) = DivergeSpec::parse(spec) else {
+                        eprintln!("bad spec: {spec}\n{usage}");
+                        std::process::exit(2);
+                    };
+                    let scenario = args.get(5).map(String::as_str).unwrap_or("chaos");
+                    let scale = args
+                        .get(6)
+                        .and_then(|s| Scale::parse(s))
+                        .unwrap_or(Scale::Quick);
+                    let seed: u64 = args
+                        .get(7)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(observatory::GOLDEN_SEED);
+                    let stride: u64 = args
+                        .get(8)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(diverge::DEFAULT_LEDGER_STRIDE);
+                    match diverge::record_ledger(spec, scenario, scale, seed, stride) {
+                        Ok(jsonl) => {
+                            let rows = jsonl.lines().count();
+                            if let Err(e) = write_artifact(out, &jsonl) {
+                                eprintln!("{e}");
+                                std::process::exit(1);
+                            }
+                            println!(
+                                "wrote {out}: {rows} digest rows (stride {stride}, {} seed {seed})",
+                                spec.label(),
+                            );
+                        }
+                        Err(e) => {
+                            eprintln!("{e}");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+                Some("ledgers") => {
+                    let (Some(pa), Some(pb)) = (args.get(3), args.get(4)) else {
+                        eprintln!("{usage}");
+                        std::process::exit(2);
+                    };
+                    let read = |p: &str| {
+                        std::fs::read_to_string(p).unwrap_or_else(|e| {
+                            eprintln!("cannot read {p}: {e}");
+                            std::process::exit(1);
+                        })
+                    };
+                    let (ta, tb) = (read(pa), read(pb));
+                    let (div, (torn_a, torn_b)) = diverge::diverge_ledgers(&ta, &tb);
+                    if torn_a {
+                        eprintln!("note: {pa} has a torn tail line (skipped)");
+                    }
+                    if torn_b {
+                        eprintln!("note: {pb} has a torn tail line (skipped)");
+                    }
+                    match div {
+                        Some(d) => {
+                            println!(
+                                "DIVERGED at ledger row event {} (t_a {} ns, t_b {} ns): {}",
+                                d.events,
+                                d.t_ns_a,
+                                d.t_ns_b,
+                                d.components.join(", "),
+                            );
+                            println!(
+                                "(ledger rows bound the divergence to one stride; \
+                                 run `repro diverge` on the specs to pin the exact event)"
+                            );
+                            std::process::exit(1);
+                        }
+                        None => println!("ledgers agree on every comparable row"),
+                    }
+                }
+                Some(sa) => {
+                    let Some(sb) = args.get(3).map(String::as_str) else {
+                        eprintln!("{usage}");
+                        std::process::exit(2);
+                    };
+                    let (Some(spec_a), Some(spec_b)) =
+                        (DivergeSpec::parse(sa), DivergeSpec::parse(sb))
+                    else {
+                        eprintln!("bad spec: {sa} / {sb}\n{usage}");
+                        std::process::exit(2);
+                    };
+                    let scenario = args.get(4).map(String::as_str).unwrap_or("chaos");
+                    let dir = args.get(5).map(String::as_str).unwrap_or("diverge_out");
+                    let scale = args
+                        .get(6)
+                        .and_then(|s| Scale::parse(s))
+                        .unwrap_or(Scale::Quick);
+                    let seed: u64 = args
+                        .get(7)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(observatory::GOLDEN_SEED);
+                    let max_events: u64 = args
+                        .get(8)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(diverge::DEFAULT_MAX_EVENTS);
+                    let r = match diverge::diverge(
+                        spec_a, spec_b, scenario, scale, seed, max_events,
+                    ) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            eprintln!("{e}\n{usage}");
+                            std::process::exit(2);
+                        }
+                    };
+                    if r.swapped {
+                        println!(
+                            "(specs swapped: perturbed run is side B = {})",
+                            r.spec_b.label()
+                        );
+                    }
+                    match r.outcome {
+                        BisectOutcome::Identical { events } => {
+                            println!(
+                                "IDENTICAL: {} and {} agree on every component digest through {events} events ({scenario}, seed {seed})",
+                                r.spec_a.label(),
+                                r.spec_b.label(),
+                            );
+                        }
+                        BisectOutcome::Diverged(rep) => {
+                            println!(
+                                "DIVERGED ({scenario}, seed {seed}, a={} b={}): {}",
+                                r.spec_a.label(),
+                                r.spec_b.label(),
+                                rep.summary(),
+                            );
+                            if let Some(e) = &rep.event_a {
+                                println!("  event a: {e}");
+                            }
+                            if let Some(e) = &rep.event_b {
+                                println!("  event b: {e}");
+                            }
+                            let path = format!("{dir}/divergence_report.json");
+                            if let Err(e) = write_artifact(&path, &rep.to_json()) {
+                                eprintln!("{e}");
+                                std::process::exit(1);
+                            }
+                            println!("  wrote {path}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+                None => {
+                    eprintln!("{usage}");
+                    std::process::exit(2);
+                }
             }
         }
         "golden" => {
@@ -980,7 +1160,9 @@ fn main() {
             println!("       repro profile <scenario> [dir] [quick|paper] [seed]   (phase profiler: rocc-perf-profile/v1 + Perfetto engine counters)");
             println!("       repro sweep <scenario> [dir] [quick|paper] [nseeds] [serial|parallel]   (checkpointed multi-seed campaign, resumable mid-cell)");
             println!("       repro snapshot save|restore|inspect <file> [scenario] [quick|paper] [seed] [events]   (engine snapshots by hand)");
-            println!("       repro compare <runA> <runB>   (cross-run fidelity gate)");
+            println!("       repro compare <runA> <runB>   (cross-run fidelity gate; refuses mixed scheduler backends)");
+            println!("       repro diverge <specA> <specB> [scenario] [dir] [quick|paper] [seed]   (bisect two runs to the first divergent event)");
+            println!("       repro diverge record <spec> <out.jsonl> | ledgers <a> <b>   (strided digest ledgers, offline diff)");
             println!("       repro golden [check|write] [path]   (pinned-run digest gate)");
             println!("supervised subcommands exit nonzero with a campaign-report JSON on any cell failure;");
             println!("--fail-fast stops scheduling new cells after the first failure (default: --keep-going)");

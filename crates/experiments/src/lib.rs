@@ -43,6 +43,7 @@ pub mod ablation;
 pub mod analytic;
 pub mod chaos;
 pub mod csv;
+pub mod diverge;
 pub mod fct;
 pub mod micro;
 pub mod observatory;

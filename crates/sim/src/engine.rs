@@ -372,6 +372,11 @@ pub struct Sim {
     sampling_bootstrapped: bool,
     sanitizer: Sanitizer,
     checkpoint: Option<CheckpointPolicy>,
+    /// Strided per-component digest recorder (the divergence
+    /// observatory's `rocc-digest-ledger/v1`; see [`crate::digest`]).
+    /// Same `Option` gating as checkpointing: disabled cost is one branch
+    /// per dispatched event, enabled recording is pure observation.
+    digest_ledger: Option<crate::digest::DigestLedger>,
     /// Kernel clamp count already surfaced to telemetry; the run loops
     /// compare it against [`Kernel::past_due_clamps`] after each dispatch
     /// (one predictable branch) and publish the delta.
@@ -431,6 +436,7 @@ impl Sim {
             sampling_bootstrapped: false,
             sanitizer: Sanitizer::default(),
             checkpoint: None,
+            digest_ledger: None,
             clamps_published: 0,
         };
         if std::env::var("ROCC_SANITIZE").map(|v| v != "0").unwrap_or(false) {
@@ -723,6 +729,9 @@ impl Sim {
             if self.checkpoint.is_some() {
                 self.auto_checkpoint();
             }
+            if self.digest_ledger.is_some() {
+                self.record_state_digest();
+            }
         }
     }
 
@@ -830,6 +839,9 @@ impl Sim {
             }
             if self.checkpoint.is_some() {
                 self.auto_checkpoint();
+            }
+            if self.digest_ledger.is_some() {
+                self.record_state_digest();
             }
         }
         // One final audit at end-of-run so a violation in the closing
@@ -1157,6 +1169,184 @@ impl Sim {
             (pol.sink)(self.events_processed, &bytes);
         }
         self.checkpoint = Some(pol);
+    }
+
+    // ------------------------------------------- divergence observatory
+
+    /// Serialize every subsystem's dynamic state as a separate named byte
+    /// stream, using the same `rocc-snapshot/v1` word codecs (and the
+    /// same section boundaries) as [`Sim::snapshot`]. This is the raw
+    /// material of the divergence observatory: hashing each component
+    /// yields [`Sim::state_digest`], and diffing two sims' streams
+    /// word-by-word localizes a divergence to the exact field group that
+    /// first disagreed (see [`crate::digest`]).
+    ///
+    /// Component order is canonical and stable: `kernel`, `rng`, `sched`,
+    /// `faults`, `san`, `slab`, one `host/N` / `switch/N` per node in
+    /// topology order, `run`, `trace`, `sanitizer`.
+    pub fn component_states(&self) -> Vec<crate::digest::ComponentState> {
+        use crate::digest::ComponentState;
+        let mut out = Vec::with_capacity(self.nodes.len() + 9);
+
+        // Kernel odometers and the clock.
+        let mut w = SnapWriter::new();
+        w.u64(self.kernel.seq);
+        w.usize(self.kernel.peak_heap);
+        w.u64(self.kernel.past_due_clamps);
+        w.time(self.kernel.last_clamp_requested);
+        w.time(self.kernel.now);
+        w.u64(self.events_processed);
+        out.push(ComponentState::new("kernel", w.into_bytes()));
+
+        // The run RNG stream.
+        let mut w = SnapWriter::new();
+        w.words(&self.kernel.rng.state());
+        out.push(ComponentState::new("rng", w.into_bytes()));
+
+        // The scheduler queue, (at, seq)-sorted exactly as the snapshot
+        // serializes it, so heap and wheel digests agree whenever their
+        // schedules do.
+        let mut w = SnapWriter::new();
+        let mut queued = self.kernel.sched.entries();
+        queued.sort_by_key(|&(at, seq, _)| (at, seq));
+        w.usize(queued.len());
+        for (at, seq, ev) in queued {
+            w.time(at);
+            w.u64(seq);
+            snapshot::write_event(&mut w, ev);
+        }
+        out.push(ComponentState::new("sched", w.into_bytes()));
+
+        // Fault cursors + the fault RNG ("both RNGs" live in rng/faults).
+        let mut w = SnapWriter::new();
+        self.kernel.faults.save_state(&mut w);
+        out.push(ComponentState::new("faults", w.into_bytes()));
+
+        let mut w = SnapWriter::new();
+        self.kernel.san.save_state(&mut w);
+        out.push(ComponentState::new("san", w.into_bytes()));
+
+        let mut w = SnapWriter::new();
+        self.kernel.packets.save_state(&mut w);
+        out.push(ComponentState::new("slab", w.into_bytes()));
+
+        // Per-node: host CC/transport state, switch queues/CC state.
+        for (i, n) in self.nodes.iter().enumerate() {
+            let mut w = SnapWriter::new();
+            let name = match n {
+                NodeSlot::Host(h) => {
+                    h.save_state(&mut w);
+                    format!("host/{i}")
+                }
+                NodeSlot::Switch(s) => {
+                    s.save_state(&mut w);
+                    format!("switch/{i}")
+                }
+            };
+            out.push(ComponentState::new(name, w.into_bytes()));
+        }
+
+        // Run bookkeeping (flow registrations are construction state, but
+        // the odometers move with the schedule).
+        let mut w = SnapWriter::new();
+        w.usize(self.flows.len());
+        w.u64(self.finite_flows);
+        w.u64(self.stall_run);
+        w.bool(self.sampling_bootstrapped);
+        w.u64(self.profile_base_events);
+        w.u64(self.profile_base_sim_ns);
+        w.u64(self.profile_base_seq);
+        out.push(ComponentState::new("run", w.into_bytes()));
+
+        // Telemetry counters and collected series.
+        let mut w = SnapWriter::new();
+        self.trace.save_state(&mut w);
+        out.push(ComponentState::new("trace", w.into_bytes()));
+
+        let mut w = SnapWriter::new();
+        self.sanitizer.save_state(&mut w);
+        out.push(ComponentState::new("sanitizer", w.into_bytes()));
+
+        out
+    }
+
+    /// The next event this sim would dispatch — `(at, seq)`-minimum of
+    /// the queue — decoded for humans. `None` when the queue is empty.
+    /// The divergence bisector quotes this as "the first diverging
+    /// event" in its report.
+    pub fn next_event_brief(&self) -> Option<String> {
+        self.kernel
+            .sched
+            .entries()
+            .into_iter()
+            .min_by_key(|&(at, seq, _)| (at, seq))
+            .map(|(at, seq, ev)| {
+                format!("[at {} ns, seq {}] {:?}", at.as_nanos(), seq, ev)
+            })
+    }
+
+    /// Deliberately flip one bit of one host's RP congestion-control
+    /// state (bit 30 of the first `snapshot_state` word of the lowest-id
+    /// flow on the first host that carries CC words — for RoCC, ~1 Gb/s
+    /// off the current rate). This is the divergence observatory's fault
+    /// injector: `repro diverge` and the acceptance tests use it to
+    /// manufacture a run with a known first-bad event and prove the
+    /// bisector finds exactly that event and names the component.
+    /// Deterministic; returns `false` if no host has CC state yet (caller
+    /// retries at a later event).
+    pub fn inject_rp_perturbation(&mut self) -> bool {
+        for n in self.nodes.iter_mut() {
+            if let NodeSlot::Host(h) = n {
+                if h.perturb_cc_state() {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Enable the strided digest ledger: every `stride` dispatched events
+    /// the engine records [`Sim::state_digest`] (plus event count and sim
+    /// time) into an in-memory `rocc-digest-ledger/v1` ledger, retrievable
+    /// via [`Sim::digest_ledger`] / [`Sim::take_digest_ledger`]. Recording
+    /// is pure observation — digests are computed from reads only — so a
+    /// recorded run is schedule-bit-identical to an unrecorded one (pinned
+    /// by the `observer_effect` suite). Disabled cost is one branch per
+    /// dispatched event, exactly like auto-checkpointing.
+    pub fn enable_digest_ledger(&mut self, stride: u64) {
+        assert!(stride > 0, "digest ledger stride must be positive");
+        self.digest_ledger = Some(crate::digest::DigestLedger::new(stride));
+    }
+
+    /// The digest ledger recorded so far, if enabled.
+    pub fn digest_ledger(&self) -> Option<&crate::digest::DigestLedger> {
+        self.digest_ledger.as_ref()
+    }
+
+    /// Detach and return the recorded digest ledger (disables recording).
+    pub fn take_digest_ledger(&mut self) -> Option<crate::digest::DigestLedger> {
+        self.digest_ledger.take()
+    }
+
+    /// Record a ledger entry if the stride divides the event count.
+    /// Callers gate on `self.digest_ledger.is_some()` so the disabled
+    /// path never reaches here.
+    fn record_state_digest(&mut self) {
+        let due = self
+            .digest_ledger
+            .as_ref()
+            .is_some_and(|l| self.events_processed.is_multiple_of(l.stride()));
+        if !due {
+            return;
+        }
+        let entry = crate::digest::DigestLedgerEntry {
+            events: self.events_processed,
+            t_ns: self.kernel.now.as_nanos(),
+            digests: self.state_digest(),
+        };
+        if let Some(l) = self.digest_ledger.as_mut() {
+            l.push(entry);
+        }
     }
 
     /// Grace period for retrying events addressed to a host that is

@@ -624,6 +624,29 @@ impl Host {
         }
     }
 
+    /// Deliberately corrupt one word of one sender flow's CC state — the
+    /// divergence-observatory fault-injection hook (see
+    /// [`crate::engine::Sim::inject_rp_perturbation`]). Flips bit 30 of
+    /// the first snapshot word of the lowest-id flow that exposes CC
+    /// state words (for RoCC's RP that word is the current rate in bps,
+    /// so the flip shifts pacing by ~1 Gb/s — exactly the "one RP bit
+    /// flipped mid-run" failure the bisector exists to localize).
+    /// Deterministic (BTreeMap order) and a no-op (`false`) when no flow
+    /// carries CC words.
+    pub(crate) fn perturb_cc_state(&mut self) -> bool {
+        for f in self.flows.values_mut() {
+            let mut words = Vec::new();
+            f.cc.snapshot_state(&mut words);
+            if words.is_empty() {
+                continue;
+            }
+            words[0] ^= 1 << 30;
+            f.cc.restore_state(&words);
+            return true;
+        }
+        false
+    }
+
     /// Overwrite the host's dynamic state from a [`Host::save_state`]
     /// stream. Sender CC boxes do not exist in a freshly built host (they
     /// are created at `FlowStart` dispatch), so each is recreated through

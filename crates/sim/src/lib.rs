@@ -65,6 +65,7 @@
 pub mod artifacts;
 pub mod cc;
 pub mod config;
+pub mod digest;
 pub mod engine;
 pub mod fastmap;
 pub mod fault;
@@ -94,6 +95,12 @@ pub mod prelude {
     };
     pub use crate::config::{
         BufferMode, ConfigError, PfcConfig, RunBudget, SimConfig, DEFAULT_STALL_EVENTS,
+    };
+    pub use crate::digest::{
+        bisect_divergence, first_ledger_divergence, parse_ledger_jsonl, BisectOptions,
+        BisectOutcome, ComponentDigests, ComponentState, DigestLedger, DigestLedgerEntry,
+        DivergenceReport, LedgerDivergence, ParsedLedger, WordDiff, DIGEST_LEDGER_SCHEMA,
+        DIVERGENCE_REPORT_SCHEMA,
     };
     pub use crate::engine::{CheckpointSink, Event, FlowMeta, FlowSpec, Kernel, Sim};
     pub use crate::fastmap::{FxHashMap, FxHashSet, FxHasher};

@@ -95,14 +95,10 @@ impl fmt::Display for SnapshotError {
 
 impl std::error::Error for SnapshotError {}
 
-/// FNV-1a 64-bit digest (the workspace's artifact-digest convention).
+/// FNV-1a 64-bit digest (the workspace's artifact-digest convention,
+/// shared via `rocc_stats::digest` — see `rocc_core::digest`).
 pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
+    rocc_stats::digest::fnv1a_64(bytes)
 }
 
 /// Seed-independent configuration digest: FNV-1a over the `Debug` render

@@ -165,12 +165,10 @@ impl Topology {
 /// 64-bit FNV-1a over the flow id and node id; deterministic so runs are
 /// reproducible, yet spreads flows across equal-cost paths.
 fn ecmp_hash(flow: u64, node: u64) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in flow.to_le_bytes().iter().chain(node.to_le_bytes().iter()) {
-        h ^= *b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    let mut h = rocc_stats::digest::Fnv64::new();
+    h.write_u64(flow);
+    h.write_u64(node);
+    h.finish()
 }
 
 /// Incrementally builds a [`Topology`].

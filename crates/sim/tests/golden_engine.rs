@@ -46,9 +46,18 @@ struct RunFingerprint {
     injected_drops: u64,
 }
 
+/// Where divergence artifacts land when a golden assertion fails (CI
+/// uploads this directory).
+fn diverge_dir() -> String {
+    std::env::var("ROCC_DIVERGE_DIR").unwrap_or_else(|_| "target/diverge".to_string())
+}
+
 /// The same faulted incast the chaos/observer suites exercise: loss on
-/// data and CNPs plus a mid-run link flap, RoCC end to end.
-fn chaos_incast(seed: u64) -> RunFingerprint {
+/// data and CNPs plus a mid-run link flap, RoCC end to end. The run
+/// records the strided digest ledger (pure observation — `observer_effect`
+/// pins that recording is bit-identical to not recording) so a
+/// fingerprint mismatch can be localized offline.
+fn chaos_incast(seed: u64) -> (RunFingerprint, DigestLedger) {
     let (topo, srcs, dst) = dumbbell(6, 40);
     let cfg = SimConfig {
         seed,
@@ -68,6 +77,7 @@ fn chaos_incast(seed: u64) -> RunFingerprint {
         Box::new(RoccHostCcFactory::new()),
         Box::new(RoccSwitchCcFactory::new()),
     );
+    sim.enable_digest_ledger(4096);
     for (i, &s) in srcs.iter().enumerate() {
         sim.add_flow(FlowSpec {
             id: FlowId(i as u64),
@@ -88,7 +98,7 @@ fn chaos_incast(seed: u64) -> RunFingerprint {
         0,
         "golden seed {seed} produced past-due schedule clamps"
     );
-    RunFingerprint {
+    let fp = RunFingerprint {
         events: sim.events_processed(),
         fcts: sim
             .trace
@@ -101,7 +111,9 @@ fn chaos_incast(seed: u64) -> RunFingerprint {
         retx: sim.trace.retx_bytes,
         ctrl_emitted: sim.trace.ctrl_emitted,
         injected_drops: sim.trace.faults.data_lost + sim.trace.faults.ctrl_lost,
-    }
+    };
+    let ledger = sim.take_digest_ledger().expect("ledger enabled above");
+    (fp, ledger)
 }
 
 /// Golden fingerprints captured from the pre-refactor (full-`Packet`
@@ -116,7 +128,7 @@ const GOLDEN: &[(u64, u64, &[(u64, u64)], u64, u64, u64, u64, u64)] = &[
 #[test]
 fn slab_queue_is_bit_identical_to_seed_engine() {
     for &(seed, events, fcts, drops, unroutable, retx, ctrl, injected) in GOLDEN {
-        let got = chaos_incast(seed);
+        let (got, ledger) = chaos_incast(seed);
         let want = RunFingerprint {
             events,
             fcts: fcts.to_vec(),
@@ -126,7 +138,21 @@ fn slab_queue_is_bit_identical_to_seed_engine() {
             ctrl_emitted: ctrl,
             injected_drops: injected,
         };
-        assert_eq!(got, want, "engine diverged from golden run at seed {seed}");
+        if got != want {
+            // Pinned constants can't be bisected live (the reference
+            // build is gone) — dump the run's per-component digest
+            // ledger so the mismatch can be localized offline against a
+            // known-good build: `repro diverge ledgers <good> <this>`.
+            let path = format!("{}/golden_seed{seed}_digest_ledger.jsonl", diverge_dir());
+            let wrote = write_artifact(&path, &ledger.to_jsonl())
+                .map(|()| path)
+                .unwrap_or_else(|e| format!("<failed to write ledger: {e}>"));
+            panic!(
+                "engine diverged from golden run at seed {seed}:\n  got: {got:?}\n want: {want:?}\n\
+                 digest ledger written to {wrote}; diff against a known-good\n\
+                 build's ledger with `repro diverge ledgers <good.jsonl> {wrote}`"
+            );
+        }
     }
 }
 
@@ -136,7 +162,7 @@ fn slab_queue_is_bit_identical_to_seed_engine() {
 #[ignore]
 fn capture_golden_fingerprints() {
     for seed in [1u64, 7, 42] {
-        let f = chaos_incast(seed);
+        let (f, _) = chaos_incast(seed);
         println!(
             "    ({seed}, {}, &{:?}, {}, {}, {}, {}, {}),",
             f.events, f.fcts, f.drops, f.unroutable, f.retx, f.ctrl_emitted, f.injected_drops

@@ -423,6 +423,75 @@ fn checkpointing_is_invisible_to_the_simulation() {
     }
 }
 
+/// The strided digest ledger obeys the same discipline: a faulted run
+/// that digests every subsystem's state every few thousand events is
+/// bit-identical to the same seed with recording off. Digesting reuses
+/// the snapshot serializers — pure reads between events — so the
+/// divergence observatory can stay wired into the run loop behind one
+/// branch. Pinned across the three faulted golden seeds, per the
+/// observatory's acceptance bar (DESIGN.md §3k).
+#[test]
+fn digest_ledger_recording_is_invisible_to_the_simulation() {
+    let run = |seed: u64, record: bool| {
+        let (topo, srcs, dst) = dumbbell(6, 40);
+        let cfg = SimConfig {
+            seed,
+            fault_plan: FaultPlan::default()
+                .with_loss(FaultTarget::Data, 0.004)
+                .with_loss(FaultTarget::Cnp, 0.01)
+                .with_flap(
+                    LinkId(3),
+                    SimTime::from_micros(400),
+                    SimTime::from_micros(900),
+                ),
+            ..SimConfig::default()
+        };
+        let mut sim = Sim::new(
+            topo,
+            cfg,
+            Box::new(RoccHostCcFactory::new()),
+            Box::new(RoccSwitchCcFactory::new()),
+        );
+        sim.trace.sample_period = Some(SimDuration::from_micros(10));
+        sim.trace.watch_queue(NodeId(0), PortId(0));
+        if record {
+            sim.enable_digest_ledger(2_048);
+        }
+        for (i, &s) in srcs.iter().enumerate() {
+            sim.add_flow(FlowSpec {
+                id: FlowId(i as u64),
+                src: s,
+                dst,
+                size: 1_000_000,
+                start: SimTime::ZERO,
+                offered: None,
+            });
+        }
+        let done = sim.run_until_flows_done(SimTime::from_millis(100)).is_complete();
+        assert!(done, "faulted incast must complete within the horizon");
+        let jsonl = if record {
+            let ledger = sim.take_digest_ledger().expect("ledger was enabled");
+            assert!(!ledger.entries().is_empty(), "ledger recorded nothing");
+            ledger.to_jsonl()
+        } else {
+            assert!(sim.digest_ledger().is_none());
+            String::new()
+        };
+        (summarize(&sim), jsonl)
+    };
+    for seed in [1u64, 7, 42] {
+        let (plain, _) = run(seed, false);
+        let (recorded, jsonl_a) = run(seed, true);
+        assert_eq!(
+            plain, recorded,
+            "digest-ledger recording perturbed the run at seed {seed}"
+        );
+        // And the ledger itself is deterministic.
+        let (_, jsonl_b) = run(seed, true);
+        assert_eq!(jsonl_a, jsonl_b, "digest ledger not deterministic");
+    }
+}
+
 /// Taking a one-off snapshot mid-run is equally invisible: pausing at an
 /// arbitrary event, serializing the full engine state, and continuing
 /// produces the identical run to never pausing at all.

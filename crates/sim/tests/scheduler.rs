@@ -39,9 +39,10 @@ struct RunFingerprint {
     clamps: u64,
 }
 
-/// The chaos incast from the golden-engine suite, run on an explicit
-/// scheduler backend.
-fn chaos_incast(seed: u64, backend: Backend) -> RunFingerprint {
+/// The chaos incast from the golden-engine suite, built (not run) on an
+/// explicit scheduler backend. Separate from the runner so a divergence
+/// can be bisected on freshly built sims.
+fn build_chaos(seed: u64, backend: Backend) -> Sim {
     let (topo, srcs, dst) = dumbbell(6, 40);
     let cfg = SimConfig {
         seed,
@@ -72,6 +73,12 @@ fn chaos_incast(seed: u64, backend: Backend) -> RunFingerprint {
             offered: None,
         });
     }
+    sim
+}
+
+/// Run the chaos incast on an explicit backend and fingerprint it.
+fn chaos_incast(seed: u64, backend: Backend) -> RunFingerprint {
+    let mut sim = build_chaos(seed, backend);
     let verdict = sim.run_until_flows_done(SimTime::from_millis(100));
     assert!(verdict.is_complete(), "chaos incast must finish: {verdict:?}");
     assert_eq!(sim.kernel.scheduler_backend(), backend);
@@ -97,10 +104,38 @@ fn wheel_is_bit_identical_to_the_heap_oracle() {
     for seed in [1u64, 7, 42] {
         let heap = chaos_incast(seed, Backend::Heap);
         let wheel = chaos_incast(seed, Backend::Wheel);
-        assert_eq!(
-            heap, wheel,
-            "scheduler backends diverged on chaos seed {seed}"
-        );
+        if heap != wheel {
+            // Unlike the pinned golden constants, both sides of this
+            // differential are reproducible here — bisect fresh sims to
+            // the exact first divergent event and write the full
+            // `rocc-divergence-report/v1` before failing (CI uploads it).
+            let dir = std::env::var("ROCC_DIVERGE_DIR")
+                .unwrap_or_else(|_| "target/diverge".to_string());
+            let path = format!("{dir}/scheduler_seed{seed}_divergence.json");
+            let mut a = build_chaos(seed, Backend::Heap);
+            let mut b = build_chaos(seed, Backend::Wheel);
+            let opts = BisectOptions {
+                scan_stride: 2048,
+                max_events: 400_000,
+                perturb_b_at: None,
+            };
+            match bisect_divergence(&mut a, &mut b, &opts) {
+                BisectOutcome::Diverged(rep) => {
+                    let wrote = write_artifact(&path, &rep.to_json())
+                        .map(|()| path)
+                        .unwrap_or_else(|e| format!("<failed to write report: {e}>"));
+                    panic!(
+                        "scheduler backends diverged on chaos seed {seed} \
+                         (heap=a, wheel=b): {}\nreport written to {wrote}",
+                        rep.summary()
+                    );
+                }
+                BisectOutcome::Identical { events } => panic!(
+                    "scheduler fingerprints differ on chaos seed {seed} but per-event \
+                     states matched through {events} events:\nheap:  {heap:?}\nwheel: {wheel:?}"
+                ),
+            }
+        }
     }
 }
 

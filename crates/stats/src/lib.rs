@@ -9,6 +9,8 @@
 
 #![warn(missing_docs)]
 
+pub mod digest;
+
 use std::fmt;
 
 /// A typed rejection from a statistics function: the input is malformed in
